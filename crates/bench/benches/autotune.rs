@@ -1,0 +1,81 @@
+//! E3 bench: expensive stability search versus one autotuner suggestion —
+//! the MLautotuning amortization (paper ref [9]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use le_bench::BENCH_SEED;
+use le_linalg::Rng;
+use le_mdsim::nanoconfinement::{NanoParams, SimConfig};
+use le_mdsim::NanoSim;
+use learning_everywhere::autotune::{label_examples, Autotuner, TuningProblem};
+use learning_everywhere::surrogate::SurrogateConfig;
+
+struct DtSearch;
+
+impl DtSearch {
+    const GRID: [f64; 5] = [0.03, 0.02, 0.015, 0.01, 0.005];
+}
+
+impl TuningProblem for DtSearch {
+    fn param_dim(&self) -> usize {
+        5
+    }
+    fn config_dim(&self) -> usize {
+        1
+    }
+    fn search_optimal(&self, params: &[f64]) -> learning_everywhere::Result<Vec<f64>> {
+        let p = NanoParams::from_features(params)
+            .map_err(|e| learning_everywhere::LeError::Simulation(e.to_string()))?;
+        for &dt in &Self::GRID {
+            let sim = NanoSim::new(SimConfig {
+                dt,
+                equil_steps: 100,
+                prod_steps: 300,
+                ..SimConfig::fast()
+            });
+            if sim.run(&p, 5).is_ok() {
+                return Ok(vec![dt]);
+            }
+        }
+        Ok(vec![Self::GRID[4]])
+    }
+    fn safe_default(&self) -> Vec<f64> {
+        vec![Self::GRID[4]]
+    }
+}
+
+fn bench_autotune(c: &mut Criterion) {
+    let mut rng = Rng::new(BENCH_SEED);
+    let probe = NanoParams::sample(&mut rng).to_features().to_vec();
+    c.bench_function("e3/stability_search_per_point", |b| {
+        b.iter(|| DtSearch.search_optimal(black_box(&probe)).unwrap())
+    });
+
+    let params: Vec<Vec<f64>> = (0..48)
+        .map(|_| NanoParams::sample(&mut rng).to_features().to_vec())
+        .collect();
+    let examples = label_examples(&DtSearch, &params).expect("labels");
+    let mut tuner = Autotuner::fit(
+        &examples,
+        DtSearch.safe_default(),
+        &SurrogateConfig {
+            hidden: vec![30, 48],
+            epochs: 150,
+            seed: BENCH_SEED,
+            ..Default::default()
+        },
+        0.02,
+    )
+    .expect("fits");
+    c.bench_function("e3/autotuner_suggestion_per_point", |b| {
+        b.iter(|| tuner.suggest(black_box(&probe)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_autotune
+}
+criterion_main!(benches);

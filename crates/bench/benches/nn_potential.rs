@@ -1,0 +1,49 @@
+//! E6 bench: reference (DFT stand-in) energy versus Behler–Parrinello NN
+//! energy at increasing cluster sizes — the ">1000x faster" claim's shape:
+//! the gap grows with system size and reference fidelity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use le_bench::BENCH_SEED;
+use le_linalg::Rng;
+use le_mdsim::bp::{generate_training_set, BpPotential, SymmetryFunctions};
+use le_mdsim::reference::{random_cluster, ReferencePotential};
+use le_nn::TrainConfig;
+
+fn bench_potentials(c: &mut Criterion) {
+    let reference = ReferencePotential::default();
+    let sf = SymmetryFunctions::standard(reference.rc);
+    let data = generate_training_set(&sf, &reference, 120, 10, BENCH_SEED);
+    let pot = BpPotential::train(
+        sf,
+        &data,
+        &[32, 32],
+        TrainConfig {
+            epochs: 100,
+            ..Default::default()
+        },
+        BENCH_SEED,
+    )
+    .expect("trains");
+
+    let mut group = c.benchmark_group("e6");
+    for &n in &[8usize, 16, 32] {
+        let mut rng = Rng::new(BENCH_SEED ^ n as u64);
+        let pos = random_cluster(n, reference.r0, 1.3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("reference_energy", n), &pos, |b, pos| {
+            b.iter(|| reference.energy(black_box(pos)))
+        });
+        group.bench_with_input(BenchmarkId::new("bp_nn_energy", n), &pos, |b, pos| {
+            b.iter(|| pot.energy(black_box(pos)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_potentials
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E9 bench: the fine diffusion burst versus its learned analogue — the
+//! short-circuiting speedup of §II-B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use le_bench::BENCH_SEED;
+use le_tissue::surrogate_grid::{SurrogateTrainConfig, TransportSurrogate};
+use le_tissue::vt::{TissueConfig, TissueModel};
+
+fn bench_tissue(c: &mut Criterion) {
+    let config = TissueConfig {
+        width: 32,
+        height: 32,
+        fine_steps_per_tissue_step: 40,
+        initial_cells: 24,
+        ..Default::default()
+    };
+    let model = TissueModel::new(config, BENCH_SEED).expect("valid");
+    let solver = *model.solver();
+    let (sources, _) = model.current_sources();
+    let field = model.nutrient.clone();
+
+    c.bench_function("e9/full_fine_burst_40_steps", |b| {
+        b.iter(|| solver.advance(black_box(&field), black_box(&sources), 40).unwrap())
+    });
+
+    let surrogate = TransportSurrogate::train_on_trajectories(
+        &config,
+        4,
+        &[1, 2, 3],
+        30,
+        0.3,
+        &SurrogateTrainConfig {
+            hidden: vec![96],
+            epochs: 80,
+            seed: BENCH_SEED,
+            ..Default::default()
+        },
+    )
+    .expect("trains");
+    c.bench_function("e9/surrogate_burst", |b| {
+        b.iter(|| surrogate.advance(black_box(&field), black_box(&sources)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tissue
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E12 (ablation): the §III-D blocking analysis — "you want to block at a
+//! timescale that is at least greater than the autocorrelation time d_c".
+//! Measure the autocorrelation time of an MD observable and show that
+//! sampling faster than d_c yields correlated (statistically redundant)
+//! training samples while blocking beyond d_c yields independent ones.
+
+use le_bench::{md_row, BENCH_SEED};
+use le_linalg::{stats, Rng};
+use le_mdsim::forces::{debye_kappa, ForceField, BJERRUM_WATER};
+use le_mdsim::integrate::{run, Integrator};
+use le_mdsim::system::{SlabBox, Species, System};
+
+fn main() {
+    // One long MD trajectory; the observable is the number of cations in
+    // the lower half of the slab (a slow collective coordinate).
+    let bbox = SlabBox::new(4.0, 4.0, 3.0).expect("valid");
+    let mut sys = System::new(bbox);
+    let mut rng = Rng::new(BENCH_SEED);
+    let ion = |v: i32| Species {
+        valency: v,
+        diameter: 0.5,
+        mass: 1.0,
+    };
+    sys.insert_species(ion(1), 40, 1.0, &mut rng).expect("fits");
+    sys.insert_species(ion(-1), 40, 1.0, &mut rng).expect("fits");
+    sys.zero_momentum();
+    let ff = ForceField {
+        kappa: debye_kappa(0.5, 1, 1, BJERRUM_WATER),
+        wall_sigma: 0.25,
+        ..Default::default()
+    };
+    let integ = Integrator {
+        dt: 0.005,
+        gamma: 1.0,
+        ..Default::default()
+    };
+    // Equilibrate.
+    run(&mut sys, &ff, &integ, 2000, 2000, &mut rng, |_, _| {}).expect("stable");
+    // Sample densely.
+    let mut series = Vec::new();
+    run(&mut sys, &ff, &integ, 150_000, 5, &mut rng, |_, s| {
+        let lower = s.pos.iter().zip(s.charge.iter()).filter(|(r, &q)| q > 0.0 && r[2] < 1.5).count();
+        series.push(lower as f64);
+    })
+    .expect("stable");
+
+    let tau = stats::autocorrelation_time(&series, 400).expect("non-empty");
+    let tau_steps = tau * 5.0; // series sampled every 5 steps
+    println!("## E12 — blocking vs the autocorrelation time\n");
+    println!(
+        "observable: cation count in the lower half-slab; measured d_c ≈ {tau:.1} samples ≈ {tau_steps:.0} MD steps\n"
+    );
+    println!(
+        "{}",
+        md_row(&[
+            "blocking interval (× d_c)".into(),
+            "effective samples / 1000 raw".into(),
+            "lag-1 correlation of blocked series".into(),
+        ])
+    );
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    for &factor in &[0.2, 0.5, 1.0, 2.0, 5.0] {
+        let stride = ((tau * factor).round() as usize).max(1);
+        let blocked: Vec<f64> = series.iter().step_by(stride).copied().collect();
+        let acf = stats::autocorrelation(&blocked, 1).expect("non-empty");
+        let lag1 = acf.get(1).copied().unwrap_or(0.0);
+        // Effective sample count per 1000 raw samples: 1000/stride blocked
+        // draws, discounted by residual correlation.
+        let eff = (1000.0 / stride as f64) * (1.0 - lag1.max(0.0));
+        println!(
+            "{}",
+            md_row(&[
+                format!("{factor:.1}"),
+                format!("{eff:.0}"),
+                format!("{lag1:.3}"),
+            ])
+        );
+    }
+    println!(
+        "\nshape: blocking faster than d_c leaves residual correlation (redundant \
+         training samples — 'blocking every timestep will not improve the \
+         training'); blocking at ≥ d_c gives near-independent samples."
+    );
+}

@@ -1,0 +1,74 @@
+//! E1: the §III-D effective-speedup formula — sweep the lookup/train ratio
+//! and verify both analytic limits, using the characteristic times
+//! *measured* on this machine by the E2 fixtures.
+
+use le_bench::{md_row, nano_dataset, nano_surrogate, BENCH_SEED};
+use le_mdsim::nanoconfinement::NanoParams;
+use le_perfmodel::scaling::{crossover_ratio, sweep_ratio};
+use le_perfmodel::speedup::{lookup_limit, no_ml_limit, SpeedupTimes};
+
+fn main() {
+    // Measure the characteristic times with the real substrate.
+    let (params, outputs) = nano_dataset(48, BENCH_SEED);
+    let sim = le_mdsim::NanoSim::new(le_mdsim::SimConfig::fast());
+    let probe = NanoParams {
+        h: 3.0,
+        z_p: 1,
+        z_n: 1,
+        c: 0.5,
+        d: 0.6,
+    };
+    let t0 = std::time::Instant::now();
+    let reps = 5;
+    for i in 0..reps {
+        let _ = sim.run(&probe, BENCH_SEED + i).expect("valid");
+    }
+    let t_train = t0.elapsed().as_secs_f64() / reps as f64;
+
+    let t1 = std::time::Instant::now();
+    let surrogate = nano_surrogate(&params, &outputs, 150, BENCH_SEED);
+    let t_learn_total = t1.elapsed().as_secs_f64();
+    let t_learn = t_learn_total / params.len() as f64;
+
+    let feats = probe.to_features();
+    let t2 = std::time::Instant::now();
+    let lookups = 20_000;
+    for _ in 0..lookups {
+        let _ = surrogate.predict(&feats).expect("probe");
+    }
+    let t_lookup = t2.elapsed().as_secs_f64() / lookups as f64;
+
+    let times = SpeedupTimes {
+        t_seq: t_train, // sequential = one un-parallelized simulation
+        t_train,
+        t_learn,
+        t_lookup,
+    };
+    println!("## E1 — effective speedup (measured times, this machine)\n");
+    println!(
+        "T_seq = T_train = {:.3e}s, T_learn = {:.3e}s/sample, T_lookup = {:.3e}s\n",
+        times.t_seq, times.t_learn, times.t_lookup
+    );
+    println!("{}", md_row(&["N_lookup / N_train".into(), "S".into()]));
+    println!("{}", md_row(&["---".into(), "---".into()]));
+    let points = sweep_ratio(&times, 100.0, -2, 6, 1).expect("valid sweep");
+    for p in &points {
+        println!(
+            "{}",
+            md_row(&[format!("1e{:+.0}", p.ratio.log10()), format!("{:.3e}", p.speedup)])
+        );
+    }
+    let no_ml = no_ml_limit(&times).expect("valid");
+    let asym = lookup_limit(&times).expect("valid");
+    println!("\nno-ML limit T_seq/T_train = {no_ml:.3}");
+    println!("lookup limit T_seq/T_lookup = {asym:.3e}");
+    if let Some(r) = crossover_ratio(&points, 0.5 * asym) {
+        println!("ratio reaching half the asymptote: {r:.1}");
+    }
+    let first = points.first().expect("non-empty").speedup;
+    let last = points.last().expect("non-empty").speedup;
+    println!(
+        "\nshape check: S(1e-2) = {first:.2} ≈ no-ML limit; S(1e6) = {last:.3e} → {:.0}% of the asymptote",
+        100.0 * last / asym
+    );
+}

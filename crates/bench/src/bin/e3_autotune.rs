@@ -1,0 +1,133 @@
+//! E3: MLautotuning (paper ref [9]) — the 6→30→48→3-style net learns
+//! optimal run configurations; measure suggestion accuracy and the
+//! search-vs-suggest speedup, plus the production-throughput gain of
+//! running at the tuned timestep instead of the safe default.
+
+use le_bench::{md_row, BENCH_SEED};
+use le_linalg::Rng;
+use le_mdsim::nanoconfinement::{NanoParams, SimConfig};
+use le_mdsim::NanoSim;
+use learning_everywhere::autotune::{label_examples, Autotuner, TuningProblem};
+use learning_everywhere::surrogate::SurrogateConfig;
+
+struct DtSearch;
+
+impl DtSearch {
+    const GRID: [f64; 7] = [0.04, 0.03, 0.02, 0.015, 0.01, 0.007, 0.005];
+    fn probe(dt: f64) -> SimConfig {
+        SimConfig {
+            dt,
+            equil_steps: 150,
+            prod_steps: 400,
+            ..SimConfig::fast()
+        }
+    }
+}
+
+impl TuningProblem for DtSearch {
+    fn param_dim(&self) -> usize {
+        5
+    }
+    fn config_dim(&self) -> usize {
+        1
+    }
+    fn search_optimal(&self, params: &[f64]) -> learning_everywhere::Result<Vec<f64>> {
+        let p = NanoParams::from_features(params)
+            .map_err(|e| learning_everywhere::LeError::Simulation(e.to_string()))?;
+        for &dt in &Self::GRID {
+            if NanoSim::new(Self::probe(dt)).run(&p, 5).is_ok() {
+                return Ok(vec![dt]);
+            }
+        }
+        Ok(vec![Self::GRID[6]])
+    }
+    fn safe_default(&self) -> Vec<f64> {
+        vec![Self::GRID[6]]
+    }
+}
+
+fn main() {
+    let mut rng = Rng::new(BENCH_SEED);
+    let n_train = 120;
+    let n_test = 25;
+    eprintln!("labelling {n_train} training points by stability search…");
+    let train_params: Vec<Vec<f64>> = (0..n_train)
+        .map(|_| NanoParams::sample(&mut rng).to_features().to_vec())
+        .collect();
+    let t0 = std::time::Instant::now();
+    let examples = label_examples(&DtSearch, &train_params).expect("searches run");
+    let per_search = t0.elapsed().as_secs_f64() / n_train as f64;
+
+    let mut tuner = Autotuner::fit(
+        &examples,
+        DtSearch.safe_default(),
+        &SurrogateConfig {
+            hidden: vec![30, 48], // ref [9]'s architecture
+            dropout: 0.05,
+            epochs: 300,
+            mc_samples: 25,
+            seed: BENCH_SEED,
+            ..Default::default()
+        },
+        0.02,
+    )
+    .expect("fits");
+
+    let mut within_one = 0;
+    let mut learned_count = 0;
+    let mut suggest_secs = 0.0;
+    let mut speed_ratio_sum = 0.0;
+    for _ in 0..n_test {
+        let p = NanoParams::sample(&mut rng);
+        let feats = p.to_features().to_vec();
+        let truth = DtSearch.search_optimal(&feats).expect("search")[0];
+        let t1 = std::time::Instant::now();
+        let s = tuner.suggest(&feats).expect("suggests");
+        suggest_secs += t1.elapsed().as_secs_f64();
+        if s.learned {
+            learned_count += 1;
+        }
+        if (s.config[0] - truth).abs() <= 0.012 {
+            within_one += 1;
+        }
+        // Throughput gain at the tuned dt vs the safe default (both valid):
+        // steps to cover fixed physical time ∝ 1/dt.
+        let tuned_dt = s.config[0].clamp(0.005, truth); // never exceed the stable optimum
+        speed_ratio_sum += tuned_dt / DtSearch.safe_default()[0];
+    }
+
+    println!("## E3 — MLautotuning of the MD timestep\n");
+    println!("{}", md_row(&["metric".into(), "value".into()]));
+    println!("{}", md_row(&["---".into(), "---".into()]));
+    println!("{}", md_row(&["training labels".into(), n_train.to_string()]));
+    println!(
+        "{}",
+        md_row(&["suggestions within one grid step".into(), format!("{within_one}/{n_test}")])
+    );
+    println!(
+        "{}",
+        md_row(&["learned (vs safe-fallback) suggestions".into(), format!("{learned_count}/{n_test}")])
+    );
+    println!(
+        "{}",
+        md_row(&["search time / point".into(), format!("{per_search:.3e}s")])
+    );
+    println!(
+        "{}",
+        md_row(&["suggestion time / point".into(), format!("{:.3e}s", suggest_secs / n_test as f64)])
+    );
+    println!(
+        "{}",
+        md_row(&[
+            "tuning amortization".into(),
+            format!("{:.0}x", per_search / (suggest_secs / n_test as f64))
+        ])
+    );
+    println!(
+        "{}",
+        md_row(&[
+            "production throughput vs safe default".into(),
+            format!("{:.1}x (mean dt ratio)", speed_ratio_sum / n_test as f64)
+        ])
+    );
+}

@@ -1,0 +1,155 @@
+//! E4: DEFSI vs baselines at state and county resolution, averaged over
+//! several hidden truth seasons (paper ref [19]'s comparison).
+
+use le_bench::{md_row, BENCH_SEED};
+use le_netdyn::baselines::{naive_forecast, uniform_county_split, ArModel, DataOnlyMlp};
+use le_netdyn::defsi::{
+    estimate_tau_distribution, generate_synthetic_seasons, score_forecaster, DefsiTrainConfig,
+    TwoBranchNet,
+};
+use le_netdyn::epifast::{hidden_truth_season, EpiFast};
+use le_netdyn::seir::SeirConfig;
+use le_netdyn::surveillance::Surveillance;
+use le_netdyn::{Population, PopulationConfig};
+
+fn main() {
+    let pop = Population::generate(
+        &PopulationConfig {
+            county_sizes: vec![400; 8],
+            mean_degree_within: 8.0,
+            mean_degree_across: 1.0,
+        },
+        BENCH_SEED,
+    )
+    .expect("valid");
+    let base = SeirConfig {
+        transmissibility: 0.0,
+        days: 112,
+        ..Default::default()
+    };
+    let sv = Surveillance {
+        reporting_fraction: 0.3,
+        noise: 0.08,
+        delay_weeks: 1,
+    };
+    let window = 4;
+    let rf = sv.reporting_fraction;
+    let n_c = pop.n_counties;
+
+    // Historical observed seasons for the data-only baselines.
+    let historical: Vec<Vec<f64>> = (0..5)
+        .map(|i| {
+            let s = hidden_truth_season(&pop, 0.055 + 0.012 * i as f64, &base, 900 + i)
+                .expect("runs");
+            Surveillance {
+                delay_weeks: 0,
+                ..sv
+            }
+            .observe_state(&s, 901 + i)
+        })
+        .collect();
+    let ar = ArModel::fit(&historical, 2).expect("fits");
+    let mlp = DataOnlyMlp::fit(&historical, window, BENCH_SEED).expect("fits");
+
+    let mut totals: std::collections::BTreeMap<&str, (f64, f64)> = Default::default();
+    let truth_taus = [0.065, 0.075, 0.085];
+    for (season_idx, &hidden_tau) in truth_taus.iter().enumerate() {
+        let truth =
+            hidden_truth_season(&pop, hidden_tau, &base, 5000 + season_idx as u64).expect("runs");
+        let observed = sv.observe_state(&truth, 5100 + season_idx as u64);
+
+        let epifast = EpiFast::new(base, rf);
+        let (tau_mean, tau_std) =
+            estimate_tau_distribution(&epifast, &pop, &observed, 5200 + season_idx as u64)
+                .expect("calibrates");
+        let seasons = generate_synthetic_seasons(
+            &pop,
+            &base,
+            &sv,
+            tau_mean,
+            tau_std,
+            32,
+            5300 + season_idx as u64,
+        )
+        .expect("simulates");
+        let defsi = TwoBranchNet::train(
+            &seasons,
+            n_c,
+            &DefsiTrainConfig {
+                window,
+                epochs: 120,
+                ..Default::default()
+            },
+        )
+        .expect("trains");
+
+        let obs_seed = 5400 + season_idx as u64;
+        let add = |totals: &mut std::collections::BTreeMap<&str, (f64, f64)>,
+                   name: &'static str,
+                   score: le_netdyn::defsi::ForecastScore| {
+            let e = totals.entry(name).or_insert((0.0, 0.0));
+            e.0 += score.state_rmse;
+            e.1 += score.county_rmse;
+        };
+        add(
+            &mut totals,
+            "DEFSI",
+            score_forecaster(&truth, &sv, window, obs_seed, |obs| {
+                defsi.forecast_counties(obs, 16)
+            })
+            .expect("scores"),
+        );
+        add(
+            &mut totals,
+            "EpiFast",
+            score_forecaster(&truth, &sv, window, obs_seed, |obs| {
+                let (_, county) = epifast.forecast(&pop, obs, 1, obs_seed ^ 0xE)?;
+                Ok(county.iter().map(|c| c[0]).collect())
+            })
+            .expect("scores"),
+        );
+        add(
+            &mut totals,
+            "AR(2)",
+            score_forecaster(&truth, &sv, window, obs_seed, |obs| {
+                Ok(uniform_county_split(ar.forecast(obs)? / rf, n_c))
+            })
+            .expect("scores"),
+        );
+        add(
+            &mut totals,
+            "data-only MLP",
+            score_forecaster(&truth, &sv, window, obs_seed, |obs| {
+                Ok(uniform_county_split(mlp.forecast(obs)? / rf, n_c))
+            })
+            .expect("scores"),
+        );
+        add(
+            &mut totals,
+            "naive",
+            score_forecaster(&truth, &sv, window, obs_seed, |obs| {
+                Ok(uniform_county_split(naive_forecast(obs)? / rf, n_c))
+            })
+            .expect("scores"),
+        );
+    }
+
+    let k = truth_taus.len() as f64;
+    println!("## E4 — DEFSI vs baselines (mean 1-week-ahead RMSE over {} seasons)\n", truth_taus.len());
+    println!(
+        "{}",
+        md_row(&["method".into(), "state RMSE".into(), "county RMSE".into()])
+    );
+    println!("{}", md_row(&["---".into(), "---".into(), "---".into()]));
+    for (name, (s, c)) in &totals {
+        println!(
+            "{}",
+            md_row(&[name.to_string(), format!("{:.2}", s / k), format!("{:.2}", c / k)])
+        );
+    }
+    println!(
+        "\npaper claim: DEFSI performs comparably or better at state level and \
+         outperforms EpiFast at county level; pure-data methods cannot resolve \
+         county detail at all (uniform split)."
+    );
+}

@@ -1,0 +1,165 @@
+//! E7: the four computation models × four kernels × thread counts —
+//! convergence quality and wall time (§III-A).
+
+use le_bench::{md_row, BENCH_SEED};
+use le_mlkernels::ccd::{synthetic_ratings, train as ccd_train, CcdConfig};
+use le_mlkernels::gibbs::{synthetic_mixture, train as gibbs_train, GibbsConfig};
+use le_mlkernels::kmeans::{synthetic_blobs, train as kmeans_train, KmeansConfig};
+use le_mlkernels::sgd::{synthetic_dataset, train as sgd_train, SgdConfig};
+use le_mlkernels::SyncModel;
+
+fn main() {
+    println!("## E7 — parallel computation models (Locking / Rotation / Allreduce / Asynchronous)\n");
+
+    // SGD logistic regression.
+    let (x, y, _) = synthetic_dataset(4000, 16, 0.05, BENCH_SEED);
+    println!("### SGD (logistic regression, 4000×16)\n");
+    println!(
+        "{}",
+        md_row(&["model".into(), "threads".into(), "final loss".into(), "seconds".into()])
+    );
+    println!(
+        "{}",
+        md_row(&["---".into(), "---".into(), "---".into(), "---".into()])
+    );
+    for model in SyncModel::ALL {
+        for &threads in &[1usize, 2, 4, 8] {
+            let (_, report) = sgd_train(
+                &x,
+                &y,
+                model,
+                &SgdConfig {
+                    epochs: 20,
+                    threads,
+                    seed: BENCH_SEED,
+                    ..Default::default()
+                },
+            )
+            .expect("trains");
+            println!(
+                "{}",
+                md_row(&[
+                    model.name().into(),
+                    threads.to_string(),
+                    format!("{:.4}", report.final_objective()),
+                    format!("{:.3}", report.seconds)
+                ])
+            );
+        }
+    }
+
+    // K-means.
+    let centers = vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![-5.0, 5.0], vec![5.0, -5.0]];
+    let data = synthetic_blobs(2000, &centers, 0.4, BENCH_SEED);
+    println!("\n### K-means (8000×2, k = 4)\n");
+    println!(
+        "{}",
+        md_row(&["model".into(), "threads".into(), "final inertia".into(), "seconds".into()])
+    );
+    println!(
+        "{}",
+        md_row(&["---".into(), "---".into(), "---".into(), "---".into()])
+    );
+    for model in SyncModel::ALL {
+        for &threads in &[1usize, 4] {
+            let (_, report) = kmeans_train(
+                &data,
+                model,
+                &KmeansConfig {
+                    k: 4,
+                    iterations: 12,
+                    threads,
+                    seed: BENCH_SEED,
+                },
+            )
+            .expect("trains");
+            println!(
+                "{}",
+                md_row(&[
+                    model.name().into(),
+                    threads.to_string(),
+                    format!("{:.4}", report.final_objective()),
+                    format!("{:.3}", report.seconds)
+                ])
+            );
+        }
+    }
+
+    // Gibbs GMM.
+    let gdata = synthetic_mixture(1200, &[-4.0, 0.0, 4.0], 0.5, BENCH_SEED);
+    println!("\n### Gibbs sampling (GMM, 3600 points, k = 3)\n");
+    println!(
+        "{}",
+        md_row(&["model".into(), "threads".into(), "final NLL".into(), "seconds".into()])
+    );
+    println!(
+        "{}",
+        md_row(&["---".into(), "---".into(), "---".into(), "---".into()])
+    );
+    for model in SyncModel::ALL {
+        let (_, report) = gibbs_train(
+            &gdata,
+            model,
+            &GibbsConfig {
+                k: 3,
+                sigma: 0.5,
+                sweeps: 40,
+                threads: 4,
+                seed: BENCH_SEED,
+            },
+        )
+        .expect("samples");
+        println!(
+            "{}",
+            md_row(&[
+                model.name().into(),
+                "4".into(),
+                format!("{:.4}", report.final_objective()),
+                format!("{:.3}", report.seconds)
+            ])
+        );
+    }
+
+    // CCD matrix factorization.
+    let ratings = synthetic_ratings(200, 150, 4, 0.2, 0.01, BENCH_SEED);
+    println!("\n### CCD matrix factorization ({} ratings, rank 4)\n", ratings.len());
+    println!(
+        "{}",
+        md_row(&["model".into(), "threads".into(), "final RMSE".into(), "seconds".into()])
+    );
+    println!(
+        "{}",
+        md_row(&["---".into(), "---".into(), "---".into(), "---".into()])
+    );
+    for model in SyncModel::ALL {
+        let (_, _, report) = ccd_train(
+            &ratings,
+            200,
+            150,
+            model,
+            &CcdConfig {
+                rank: 4,
+                epochs: 40,
+                threads: 4,
+                lr: 0.08,
+                l2: 0.005,
+                seed: BENCH_SEED,
+            },
+        )
+        .expect("trains");
+        println!(
+            "{}",
+            md_row(&[
+                model.name().into(),
+                "4".into(),
+                format!("{:.4}", report.final_objective()),
+                format!("{:.3}", report.seconds)
+            ])
+        );
+    }
+    println!(
+        "\npaper claim: optimized collective communication (allreduce/rotation) \
+         improves model-update speed over per-update locking; asynchronous trades \
+         consistency for throughput."
+    );
+}

@@ -1,0 +1,49 @@
+//! Effective-performance accounting helpers. The heavy lifting lives in
+//! [`le_perfmodel`]; this module re-exports it and adds a timing guard for
+//! instrumenting arbitrary closures.
+
+pub use le_perfmodel::{CampaignAccounting, EffectiveSpeedup, SpeedupTimes};
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Pretty one-line summary of a measured effective speedup.
+pub fn summarize(s: &EffectiveSpeedup) -> String {
+    format!(
+        "effective speedup S = {:.3e} (N_lookup = {:.0}, N_train = {:.0}, T_seq = {:.3e}s, T_train = {:.3e}s, T_learn = {:.3e}s, T_lookup = {:.3e}s)",
+        s.speedup, s.n_lookup, s.n_train, s.times.t_seq, s.times.t_train, s.times.t_learn, s.times.t_lookup
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result_and_positive_time() {
+        let (value, secs) = timed(|| {
+            let mut acc = 0.0f64;
+            for i in 0..100_000 {
+                acc += (i as f64).sqrt();
+            }
+            acc
+        });
+        assert!(value > 0.0);
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn summary_contains_the_numbers() {
+        let mut acc = CampaignAccounting::new();
+        acc.record_training_sim(1.0);
+        acc.record_lookup(0.001);
+        let s = acc.effective_speedup().unwrap();
+        let line = summarize(&s);
+        assert!(line.contains("N_lookup = 1"));
+        assert!(line.contains("N_train = 1"));
+    }
+}

@@ -1,0 +1,622 @@
+//! [`HybridEngine`] — the MLaroundHPC execution engine.
+//!
+//! Every query goes through the gate:
+//!
+//! 1. If a surrogate exists, evaluate it with MC-dropout uncertainty.
+//! 2. If the largest per-output std is below the threshold τ, serve the
+//!    prediction (a **lookup** — microseconds).
+//! 3. Otherwise run the real simulator, serve its result, and append the
+//!    pair to the training buffer — "no run is wasted. Training needs both
+//!    successful and unsuccessful runs" (§II-C1).
+//! 4. Retrain when the buffer has grown by the configured fraction.
+//!
+//! All four §III-D phase times are recorded into a
+//! [`le_perfmodel::CampaignAccounting`], so the engine reports its own
+//! effective speedup. The UQ gate also implements §III-B's proposal that
+//! UQ should decide when "the training routine might less likely need
+//! more data".
+
+use std::time::Instant;
+
+use le_linalg::Matrix;
+use le_perfmodel::CampaignAccounting;
+
+use crate::simulator::Simulator;
+use crate::surrogate::{NnSurrogate, SurrogateConfig};
+use crate::{LeError, Result};
+
+/// Where a query's answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySource {
+    /// Served by the trained surrogate.
+    Lookup,
+    /// Served by the real simulator (and added to the training buffer).
+    Simulated,
+}
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The output vector.
+    pub output: Vec<f64>,
+    /// Lookup or simulated.
+    pub source: QuerySource,
+    /// The uncertainty the gate saw (`None` before the first training).
+    pub gate_std: Option<f64>,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Serve from the surrogate when max per-output std < τ (natural
+    /// units).
+    pub uncertainty_threshold: f64,
+    /// Minimum buffered runs before the first training.
+    pub min_training_runs: usize,
+    /// Retrain when the buffer grows by this factor since the last fit.
+    pub retrain_growth: f64,
+    /// Surrogate architecture/training settings.
+    pub surrogate: SurrogateConfig,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            uncertainty_threshold: 0.1,
+            min_training_runs: 32,
+            retrain_growth: 1.5,
+            surrogate: SurrogateConfig::default(),
+        }
+    }
+}
+
+/// The MLaroundHPC engine wrapping a [`Simulator`].
+pub struct HybridEngine<S: Simulator> {
+    simulator: S,
+    config: HybridConfig,
+    surrogate: Option<NnSurrogate>,
+    buffer_x: Vec<Vec<f64>>,
+    buffer_y: Vec<Vec<f64>>,
+    runs_at_last_fit: usize,
+    accounting: CampaignAccounting,
+    seed_counter: u64,
+    n_lookups: u64,
+    n_simulations: u64,
+    failed_retrains: u64,
+}
+
+impl<S: Simulator> HybridEngine<S> {
+    /// Wrap a simulator.
+    pub fn new(simulator: S, config: HybridConfig) -> Result<Self> {
+        if config.uncertainty_threshold <= 0.0 {
+            return Err(LeError::InvalidConfig(
+                "uncertainty threshold must be positive".into(),
+            ));
+        }
+        if config.min_training_runs < 4 {
+            return Err(LeError::InvalidConfig(
+                "need at least 4 runs before training".into(),
+            ));
+        }
+        if config.retrain_growth <= 1.0 {
+            return Err(LeError::InvalidConfig(
+                "retrain growth factor must exceed 1".into(),
+            ));
+        }
+        Ok(Self {
+            simulator,
+            config,
+            surrogate: None,
+            buffer_x: Vec::new(),
+            buffer_y: Vec::new(),
+            runs_at_last_fit: 0,
+            accounting: CampaignAccounting::new(),
+            seed_counter: 0,
+            n_lookups: 0,
+            n_simulations: 0,
+            failed_retrains: 0,
+        })
+    }
+
+    /// The wrapped simulator.
+    pub fn simulator(&self) -> &S {
+        &self.simulator
+    }
+
+    /// Number of queries served from the surrogate.
+    pub fn n_lookups(&self) -> u64 {
+        self.n_lookups
+    }
+
+    /// Number of queries that ran the simulator.
+    pub fn n_simulations(&self) -> u64 {
+        self.n_simulations
+    }
+
+    /// Size of the training buffer.
+    pub fn buffered_runs(&self) -> usize {
+        self.buffer_x.len()
+    }
+
+    /// Whether a surrogate is currently trained.
+    pub fn has_surrogate(&self) -> bool {
+        self.surrogate.is_some()
+    }
+
+    /// The §III-D accounting gathered so far.
+    pub fn accounting(&self) -> &CampaignAccounting {
+        &self.accounting
+    }
+
+    /// Adjust the UQ gate at runtime (e.g. tightening as the campaign's
+    /// accuracy requirements grow).
+    pub fn set_uncertainty_threshold(&mut self, tau: f64) -> Result<()> {
+        if tau <= 0.0 {
+            return Err(LeError::InvalidConfig(
+                "uncertainty threshold must be positive".into(),
+            ));
+        }
+        self.config.uncertainty_threshold = tau;
+        Ok(())
+    }
+
+    /// Answer a query through the UQ gate.
+    pub fn query(&mut self, input: &[f64]) -> Result<QueryResult> {
+        if input.len() != self.simulator.input_dim() {
+            return Err(LeError::InvalidConfig(format!(
+                "expected {} inputs, got {}",
+                self.simulator.input_dim(),
+                input.len()
+            )));
+        }
+        // Gate on the surrogate's uncertainty.
+        let mut gate_std = None;
+        if let Some(surrogate) = self.surrogate.as_mut() {
+            let t0 = Instant::now();
+            let pred = surrogate.predict_with_uncertainty(input)?;
+            let elapsed = t0.elapsed().as_secs_f64();
+            let std = pred.max_std();
+            gate_std = Some(std);
+            if std < self.config.uncertainty_threshold {
+                self.accounting.record_lookup(elapsed);
+                self.n_lookups += 1;
+                return Ok(QueryResult {
+                    output: pred.mean,
+                    source: QuerySource::Lookup,
+                    gate_std,
+                });
+            }
+        }
+        // Simulate; no run is wasted.
+        let t0 = Instant::now();
+        self.seed_counter += 1;
+        let output = self
+            .simulator
+            .simulate(input, self.seed_counter)
+            .map_err(|e| LeError::Simulation(e.to_string()))?;
+        self.accounting.record_training_sim(t0.elapsed().as_secs_f64());
+        self.n_simulations += 1;
+        self.buffer_x.push(input.to_vec());
+        self.buffer_y.push(output.clone());
+        self.maybe_retrain();
+        Ok(QueryResult {
+            output,
+            source: QuerySource::Simulated,
+            gate_std,
+        })
+    }
+
+    /// Pre-seed the buffer with externally computed runs (e.g. an initial
+    /// design-of-experiments campaign) and train immediately.
+    pub fn seed_training(&mut self, x: &[Vec<f64>], y: &[Vec<f64>]) -> Result<()> {
+        if x.len() != y.len() {
+            return Err(LeError::InvalidConfig(
+                "seed inputs/outputs length mismatch".into(),
+            ));
+        }
+        self.buffer_x.extend_from_slice(x);
+        self.buffer_y.extend_from_slice(y);
+        if self.buffer_x.len() >= self.config.min_training_runs {
+            self.retrain()?;
+        }
+        Ok(())
+    }
+
+    /// Retrain if due. Training failures (e.g. a diverged run poisoned the
+    /// buffer with non-finite outputs) do not fail the query that triggered
+    /// them — the simulated answer is still valid; the failure is counted
+    /// and the next growth threshold retries.
+    fn maybe_retrain(&mut self) {
+        let n = self.buffer_x.len();
+        let due = if self.surrogate.is_none() {
+            n >= self.config.min_training_runs
+        } else {
+            n as f64 >= self.runs_at_last_fit as f64 * self.config.retrain_growth
+        };
+        if due && self.retrain().is_err() {
+            self.failed_retrains += 1;
+            // Push the next attempt out by the growth factor.
+            self.runs_at_last_fit = n;
+        }
+    }
+
+    /// Number of retraining attempts that failed (diagnostics).
+    pub fn failed_retrains(&self) -> u64 {
+        self.failed_retrains
+    }
+
+    /// Force a (re)training of the surrogate on the current buffer.
+    pub fn retrain(&mut self) -> Result<()> {
+        let n = self.buffer_x.len();
+        if n < 4 {
+            return Err(LeError::InsufficientData(format!("{n} buffered runs")));
+        }
+        let in_dim = self.simulator.input_dim();
+        let out_dim = self.simulator.output_dim();
+        let mut x = Matrix::zeros(n, in_dim);
+        let mut y = Matrix::zeros(n, out_dim);
+        for i in 0..n {
+            x.row_mut(i).copy_from_slice(&self.buffer_x[i]);
+            y.row_mut(i).copy_from_slice(&self.buffer_y[i]);
+        }
+        let t0 = Instant::now();
+        let surrogate = NnSurrogate::fit(&x, &y, &self.config.surrogate)?;
+        self.accounting.record_learning(t0.elapsed().as_secs_f64());
+        self.surrogate = Some(surrogate);
+        self.runs_at_last_fit = n;
+        Ok(())
+    }
+
+    /// Fraction of queries served by lookup so far.
+    pub fn lookup_fraction(&self) -> f64 {
+        let total = self.n_lookups + self.n_simulations;
+        if total == 0 {
+            0.0
+        } else {
+            self.n_lookups as f64 / total as f64
+        }
+    }
+
+    /// Calibrate the UQ gate from labelled validation pairs: choose the
+    /// largest threshold τ such that, *on the validation set*, every query
+    /// the gate would serve from the surrogate has error ≤ `max_error`
+    /// (infinity-norm over outputs). Returns the chosen τ and the lookup
+    /// fraction it achieves on the validation set; leaves the gate
+    /// unchanged if no τ admits any lookups.
+    ///
+    /// This operationalizes §III-B: "once [the uncertainty] is low enough,
+    /// the training routine might less likely need more data" — with "low
+    /// enough" *measured* instead of guessed.
+    pub fn calibrate_gate(
+        &mut self,
+        val_x: &[Vec<f64>],
+        val_y: &[Vec<f64>],
+        max_error: f64,
+    ) -> Result<Option<(f64, f64)>> {
+        if val_x.is_empty() || val_x.len() != val_y.len() {
+            return Err(LeError::InvalidConfig("bad validation set".into()));
+        }
+        if max_error <= 0.0 {
+            return Err(LeError::InvalidConfig("max_error must be positive".into()));
+        }
+        let surrogate = self
+            .surrogate
+            .as_mut()
+            .ok_or_else(|| LeError::InsufficientData("no trained surrogate".into()))?;
+        // Score every validation point: (gate std, actual max error).
+        let mut scored: Vec<(f64, f64)> = Vec::with_capacity(val_x.len());
+        for (x, y) in val_x.iter().zip(val_y.iter()) {
+            let pred = surrogate.predict_with_uncertainty(x)?;
+            let err = pred
+                .mean
+                .iter()
+                .zip(y.iter())
+                .map(|(&p, &t)| (p - t).abs())
+                .fold(0.0f64, f64::max);
+            scored.push((pred.max_std(), err));
+        }
+        // Sort by gate std ascending; the candidate thresholds are just
+        // above each point's std. Walk upward while all admitted points
+        // stay within the error budget.
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut best: Option<(f64, usize)> = None;
+        for (i, &(std, _)) in scored.iter().enumerate() {
+            // Admitting points 0..=i ⇔ τ slightly above scored[i].std.
+            if scored[..=i].iter().any(|&(_, err)| err > max_error) {
+                break;
+            }
+            best = Some((std * 1.0000001 + f64::MIN_POSITIVE, i + 1));
+        }
+        match best {
+            Some((tau, admitted)) => {
+                self.config.uncertainty_threshold = tau;
+                Ok(Some((tau, admitted as f64 / scored.len() as f64)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::SyntheticSimulator;
+    use le_linalg::Rng;
+
+    fn engine(threshold: f64, seed: u64) -> HybridEngine<SyntheticSimulator> {
+        let sim = SyntheticSimulator::new(2, 1, 20_000, 0.0);
+        HybridEngine::new(
+            sim,
+            HybridConfig {
+                uncertainty_threshold: threshold,
+                min_training_runs: 48,
+                retrain_growth: 2.0,
+                surrogate: SurrogateConfig {
+                    epochs: 120,
+                    dropout: 0.1,
+                    mc_samples: 20,
+                    seed,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let sim = SyntheticSimulator::new(2, 1, 0, 0.0);
+        assert!(HybridEngine::new(
+            sim.clone(),
+            HybridConfig {
+                uncertainty_threshold: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(HybridEngine::new(
+            sim.clone(),
+            HybridConfig {
+                min_training_runs: 2,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(HybridEngine::new(
+            sim,
+            HybridConfig {
+                retrain_growth: 0.9,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cold_engine_simulates_everything() {
+        let mut engine = engine(0.5, 1);
+        let mut rng = Rng::new(2);
+        for _ in 0..20 {
+            let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let r = engine.query(&x).unwrap();
+            assert_eq!(r.source, QuerySource::Simulated);
+            assert!(r.gate_std.is_none(), "no surrogate yet");
+        }
+        assert_eq!(engine.n_lookups(), 0);
+        assert!(!engine.has_surrogate());
+    }
+
+    #[test]
+    fn engine_warms_up_and_serves_lookups() {
+        let mut engine = engine(0.6, 3);
+        let mut rng = Rng::new(4);
+        let mut sources = Vec::new();
+        for _ in 0..220 {
+            let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            sources.push(engine.query(&x).unwrap().source);
+        }
+        assert!(engine.has_surrogate());
+        assert!(
+            engine.n_lookups() > 30,
+            "warm engine should serve lookups, got {} of 220",
+            engine.n_lookups()
+        );
+        // Early queries simulated, later ones increasingly looked up.
+        let early = sources[..50]
+            .iter()
+            .filter(|&&s| s == QuerySource::Lookup)
+            .count();
+        let late = sources[170..]
+            .iter()
+            .filter(|&&s| s == QuerySource::Lookup)
+            .count();
+        assert!(late > early, "lookup rate should grow: {early} -> {late}");
+    }
+
+    #[test]
+    fn lookups_are_accurate() {
+        let mut engine = engine(0.4, 5);
+        let mut rng = Rng::new(6);
+        // Warm up.
+        for _ in 0..200 {
+            let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let _ = engine.query(&x).unwrap();
+        }
+        // Compare lookup answers against the analytic truth.
+        let mut checked = 0;
+        for _ in 0..60 {
+            let x = [rng.uniform_in(-0.8, 0.8), rng.uniform_in(-0.8, 0.8)];
+            let truth = engine.simulator().truth(&x)[0];
+            let r = engine.query(&x).unwrap();
+            if r.source == QuerySource::Lookup {
+                checked += 1;
+                assert!(
+                    (r.output[0] - truth).abs() < 0.8,
+                    "lookup {} vs truth {truth}",
+                    r.output[0]
+                );
+            }
+        }
+        assert!(checked > 5, "need some lookups to check ({checked})");
+    }
+
+    #[test]
+    fn out_of_domain_queries_fall_back_to_simulation() {
+        let mut engine = engine(0.25, 7);
+        let mut rng = Rng::new(8);
+        let mut in_domain_stds = Vec::new();
+        for _ in 0..200 {
+            let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let r = engine.query(&x).unwrap();
+            if let Some(s) = r.gate_std {
+                in_domain_stds.push(s);
+            }
+        }
+        // Moderate extrapolation (a few σ out, before tanh saturation
+        // flattens the MC-dropout spread): the gate must see elevated
+        // uncertainty relative to in-domain queries.
+        let in_mean = in_domain_stds.iter().sum::<f64>() / in_domain_stds.len() as f64;
+        let probe = [2.5, -2.5];
+        // Read the gate's view without committing to a source.
+        let r = engine.query(&probe).unwrap();
+        let ood_std = r.gate_std.expect("surrogate is trained");
+        assert!(
+            ood_std > in_mean,
+            "OOD std {ood_std} should exceed in-domain mean {in_mean}"
+        );
+        // With the gate tightened below the OOD uncertainty, a nearby OOD
+        // query must be simulated, not looked up.
+        engine.set_uncertainty_threshold(ood_std * 0.5).unwrap();
+        let r2 = engine.query(&[2.6, -2.4]).unwrap();
+        assert_eq!(
+            r2.source,
+            QuerySource::Simulated,
+            "tight gate must reject extrapolation (std {:?})",
+            r2.gate_std
+        );
+    }
+
+    #[test]
+    fn seed_training_trains_immediately() {
+        let mut engine = engine(0.5, 9);
+        let mut rng = Rng::new(10);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..60 {
+            let x = vec![rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let y = engine.simulator().truth(&x);
+            xs.push(x);
+            ys.push(y);
+        }
+        engine.seed_training(&xs, &ys).unwrap();
+        assert!(engine.has_surrogate());
+        assert_eq!(engine.buffered_runs(), 60);
+    }
+
+    #[test]
+    fn accounting_tracks_phases() {
+        // Use an expensive simulator so simulation time dominates lookup
+        // time even in unoptimized builds — the regime the paper targets.
+        let sim = SyntheticSimulator::new(2, 1, 5_000_000, 0.0);
+        let mut engine = HybridEngine::new(
+            sim,
+            HybridConfig {
+                uncertainty_threshold: 0.8,
+                min_training_runs: 48,
+                retrain_growth: 2.5,
+                surrogate: SurrogateConfig {
+                    epochs: 60,
+                    dropout: 0.1,
+                    mc_samples: 10,
+                    seed: 11,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        let mut rng = Rng::new(12);
+        for _ in 0..150 {
+            let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let _ = engine.query(&x).unwrap();
+        }
+        let acc = engine.accounting();
+        assert_eq!(acc.n_train(), engine.n_simulations());
+        assert_eq!(acc.n_lookup(), engine.n_lookups());
+        assert!(engine.n_lookups() > 0, "engine should warm up");
+        let s = acc.effective_speedup().unwrap();
+        assert!(
+            s.speedup > 1.0,
+            "hybrid should beat pure simulation, got {}",
+            s.speedup
+        );
+        // The measured characteristic times are ordered as the paper
+        // assumes: lookups far cheaper than simulations.
+        assert!(s.times.t_lookup < s.times.t_train);
+    }
+
+    #[test]
+    fn calibrate_gate_picks_a_safe_threshold() {
+        let mut engine = engine(0.5, 21);
+        let mut rng = Rng::new(22);
+        // Warm up with enough data for a decent surrogate.
+        for _ in 0..150 {
+            let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let _ = engine.query(&x).unwrap();
+        }
+        assert!(engine.has_surrogate());
+        // Validation pairs from the analytic truth.
+        let mut val_x = Vec::new();
+        let mut val_y = Vec::new();
+        for _ in 0..60 {
+            let x = vec![rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let y = engine.simulator().truth(&x);
+            val_x.push(x);
+            val_y.push(y);
+        }
+        let max_error = 0.5;
+        let result = engine.calibrate_gate(&val_x, &val_y, max_error).unwrap();
+        if let Some((tau, lookup_frac)) = result {
+            assert!(tau > 0.0 && tau.is_finite());
+            assert!((0.0..=1.0).contains(&lookup_frac));
+            // Verify the guarantee on the validation set itself: every
+            // point the calibrated gate admits has error ≤ max_error.
+            for (x, y) in val_x.iter().zip(val_y.iter()) {
+                let r = engine.query(x).unwrap();
+                if r.source == QuerySource::Lookup {
+                    let err = r
+                        .output
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(&p, &t)| (p - t).abs())
+                        .fold(0.0f64, f64::max);
+                    // MC noise between calibration pass and query pass can
+                    // admit borderline points; allow modest slack.
+                    assert!(
+                        err <= max_error * 1.5,
+                        "admitted lookup error {err} exceeds budget {max_error}"
+                    );
+                }
+            }
+        }
+        // Error cases.
+        assert!(engine.calibrate_gate(&[], &[], 0.1).is_err());
+        assert!(engine.calibrate_gate(&val_x, &val_y, 0.0).is_err());
+    }
+
+    #[test]
+    fn calibrate_gate_requires_a_surrogate() {
+        let mut engine = engine(0.5, 23);
+        let val = vec![vec![0.0, 0.0]];
+        let val_y = vec![vec![0.0]];
+        assert!(matches!(
+            engine.calibrate_gate(&val, &val_y, 0.1),
+            Err(LeError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_input_dim_rejected() {
+        let mut engine = engine(0.5, 13);
+        assert!(engine.query(&[1.0]).is_err());
+    }
+}

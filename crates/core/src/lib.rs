@@ -1,0 +1,73 @@
+//! `learning-everywhere` — the paper's primary contribution as a library.
+//!
+//! *Learning Everywhere: Pervasive Machine Learning for Effective
+//! High-Performance Computation* (Fox et al., 2019) argues that learned
+//! surrogates should wrap simulations everywhere they pay off, and
+//! introduces **effective performance**: the speedup the *user* sees when
+//! most requests are served by a trained network instead of a full
+//! simulation. This crate is that wrapper:
+//!
+//! * [`taxonomy`] — the paper's six-way HPCforML / MLforHPC classification,
+//!   as a typed vocabulary used in reports.
+//! * [`simulator`] — the [`simulator::Simulator`] trait any expensive
+//!   computation implements to join the framework (the MD, epidemic, and
+//!   tissue substrates in this workspace all do).
+//! * [`surrogate`] — [`surrogate::NnSurrogate`]: a scaled MLP + MC-dropout
+//!   UQ bundle trained from completed simulation runs ("no run is
+//!   wasted").
+//! * [`hybrid`] — [`hybrid::HybridEngine`], the MLaroundHPC execution
+//!   engine: each query is served from the surrogate iff its MC-dropout
+//!   uncertainty passes the gate; otherwise the real simulator runs and
+//!   the result joins the training buffer; retraining triggers as the
+//!   buffer grows. Every phase is timed into the §III-D accounting.
+//! * [`active`] — the active-learning loop (§II-C2, ref [34]):
+//!   uncertainty-driven acquisition versus random, with learning curves.
+//! * [`autotune`] — MLautotuning: learn the map from problem parameters to
+//!   optimal run configurations (e.g. the largest stable timestep).
+//! * [`control`] — MLControl: objective-driven campaigns that invert the
+//!   surrogate to find inputs achieving a target output, with simulation
+//!   verification in the loop.
+//! * [`accounting`] — re-exported effective-performance accounting
+//!   ([`le_perfmodel::CampaignAccounting`]) plus timing helpers.
+
+pub mod accounting;
+pub mod active;
+pub mod autotune;
+pub mod control;
+pub mod hybrid;
+pub mod simulator;
+pub mod surrogate;
+pub mod taxonomy;
+
+pub use hybrid::{HybridConfig, HybridEngine, QuerySource};
+pub use simulator::Simulator;
+pub use surrogate::{NnSurrogate, SurrogateConfig};
+
+/// Errors from the framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeError {
+    /// Invalid configuration.
+    InvalidConfig(String),
+    /// The wrapped simulator failed.
+    Simulation(String),
+    /// The ML layer failed.
+    Model(String),
+    /// Not enough data for the requested operation.
+    InsufficientData(String),
+}
+
+impl std::fmt::Display for LeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeError::InvalidConfig(s) => write!(f, "invalid config: {s}"),
+            LeError::Simulation(s) => write!(f, "simulation error: {s}"),
+            LeError::Model(s) => write!(f, "model error: {s}"),
+            LeError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LeError {}
+
+/// Result alias for the framework.
+pub type Result<T> = std::result::Result<T, LeError>;

@@ -1,0 +1,167 @@
+//! The [`Simulator`] trait — the contract an expensive computation
+//! implements to be wrapped by the Learning-Everywhere machinery — plus a
+//! cheap analytic test simulator used throughout the framework's own tests
+//! and benches.
+
+use crate::{LeError, Result};
+
+/// An expensive, deterministic-given-seed computation mapping a fixed-size
+/// input vector to a fixed-size output vector.
+///
+/// Implementations in this workspace: the nanoconfinement MD scenario
+/// (inputs `[h, z_p, z_n, c, d]` → densities), the tissue transport burst,
+/// and the synthetic functions below.
+pub trait Simulator: Sync {
+    /// Input dimensionality D (the paper's "size of data set specifying
+    /// each sample").
+    fn input_dim(&self) -> usize;
+
+    /// Output dimensionality.
+    fn output_dim(&self) -> usize;
+
+    /// Run the simulation. Must be deterministic given `(input, seed)`.
+    fn simulate(&self, input: &[f64], seed: u64) -> Result<Vec<f64>>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "simulator"
+    }
+}
+
+/// A synthetic analytic "simulation" with a controllable artificial cost:
+/// `y_k = Σ_d sin(ω_kd x_d) + x·a_k` plus optional noise, with a spin-loop
+/// of `cost_iters` transcendental evaluations to emulate expense. Used by
+/// framework tests and the E1/E5 benches where the *shape* of the learning
+/// problem matters but an MD engine would be overkill.
+#[derive(Debug, Clone)]
+pub struct SyntheticSimulator {
+    in_dim: usize,
+    out_dim: usize,
+    /// Artificial work per call (transcendental evaluations).
+    pub cost_iters: usize,
+    /// Observation noise standard deviation.
+    pub noise: f64,
+}
+
+impl SyntheticSimulator {
+    /// Build with the given dimensions.
+    pub fn new(in_dim: usize, out_dim: usize, cost_iters: usize, noise: f64) -> Self {
+        Self {
+            in_dim,
+            out_dim,
+            cost_iters,
+            noise,
+        }
+    }
+
+    /// The exact (noise-free) response — for evaluating surrogate accuracy.
+    pub fn truth(&self, input: &[f64]) -> Vec<f64> {
+        (0..self.out_dim)
+            .map(|k| {
+                let mut acc = 0.0;
+                for (d, &x) in input.iter().enumerate() {
+                    let omega = 1.0 + 0.7 * ((k + 2 * d) % 5) as f64;
+                    acc += (omega * x).sin() + 0.3 * x * ((k + d) % 3) as f64;
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Simulator for SyntheticSimulator {
+    fn input_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn simulate(&self, input: &[f64], seed: u64) -> Result<Vec<f64>> {
+        if input.len() != self.in_dim {
+            return Err(LeError::InvalidConfig(format!(
+                "expected {} inputs, got {}",
+                self.in_dim,
+                input.len()
+            )));
+        }
+        // Artificial expense (kept observable so it is not optimized away).
+        let mut sink = 0.0f64;
+        for i in 0..self.cost_iters {
+            sink += ((i as f64) * 1e-3).sin();
+        }
+        let mut out = self.truth(input);
+        if self.noise > 0.0 {
+            let mut rng = le_linalg::Rng::new(seed);
+            for v in &mut out {
+                *v += self.noise * rng.gaussian();
+            }
+        }
+        // Fold the sink in at zero weight to keep the loop alive.
+        if sink.is_nan() {
+            out[0] += 1e-300;
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_validation() {
+        let sim = SyntheticSimulator::new(3, 2, 0, 0.0);
+        assert_eq!(sim.input_dim(), 3);
+        assert_eq!(sim.output_dim(), 2);
+        assert!(sim.simulate(&[1.0, 2.0], 0).is_err());
+        assert_eq!(sim.simulate(&[0.1, 0.2, 0.3], 0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn noise_free_matches_truth_and_is_deterministic() {
+        let sim = SyntheticSimulator::new(2, 2, 100, 0.0);
+        let x = [0.4, -0.9];
+        assert_eq!(sim.simulate(&x, 1).unwrap(), sim.truth(&x));
+        assert_eq!(sim.simulate(&x, 1).unwrap(), sim.simulate(&x, 2).unwrap());
+    }
+
+    #[test]
+    fn noisy_outputs_depend_on_seed_only() {
+        let sim = SyntheticSimulator::new(2, 1, 0, 0.1);
+        let x = [0.5, 0.5];
+        assert_eq!(sim.simulate(&x, 7).unwrap(), sim.simulate(&x, 7).unwrap());
+        assert_ne!(sim.simulate(&x, 7).unwrap(), sim.simulate(&x, 8).unwrap());
+    }
+
+    #[test]
+    fn truth_is_smooth_in_inputs() {
+        let sim = SyntheticSimulator::new(2, 1, 0, 0.0);
+        let y0 = sim.truth(&[0.5, 0.5])[0];
+        let y1 = sim.truth(&[0.5001, 0.5])[0];
+        assert!((y0 - y1).abs() < 1e-2);
+    }
+
+    #[test]
+    fn cost_iters_increase_wall_time() {
+        let cheap = SyntheticSimulator::new(2, 1, 0, 0.0);
+        let costly = SyntheticSimulator::new(2, 1, 2_000_000, 0.0);
+        let x = [0.1, 0.2];
+        let t0 = std::time::Instant::now();
+        for _ in 0..5 {
+            let _ = cheap.simulate(&x, 0).unwrap();
+        }
+        let t_cheap = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        for _ in 0..5 {
+            let _ = costly.simulate(&x, 0).unwrap();
+        }
+        let t_costly = t1.elapsed();
+        assert!(t_costly > t_cheap, "{t_costly:?} vs {t_cheap:?}");
+    }
+}

@@ -1,0 +1,441 @@
+//! [`NnSurrogate`] — the learned stand-in for a simulator: input/output
+//! standardization + an MLP with dropout + MC-dropout uncertainty, all in
+//! the simulator's native units.
+
+use le_linalg::{Matrix, Rng};
+use le_nn::{Mlp, MlpConfig, Optimizer, Scaler, TrainConfig, Trainer};
+use le_uq::{Prediction, UncertainModel};
+
+use crate::{LeError, Result};
+
+/// Architecture and training settings for a surrogate.
+#[derive(Debug, Clone)]
+pub struct SurrogateConfig {
+    /// Hidden-layer widths.
+    pub hidden: Vec<usize>,
+    /// Dropout rate (must be > 0 for MC-dropout UQ to carry signal).
+    pub dropout: f64,
+    /// Training epochs per (re)fit.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// MC-dropout samples per uncertainty query.
+    pub mc_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![64, 64],
+            dropout: 0.1,
+            epochs: 200,
+            lr: 3e-3,
+            mc_samples: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained surrogate: scalers + MLP + an RNG for MC-dropout sampling.
+#[derive(Debug, Clone)]
+pub struct NnSurrogate {
+    net: Mlp,
+    x_scaler: Scaler,
+    y_scaler: Scaler,
+    mc_samples: usize,
+    mc_rng: Rng,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl NnSurrogate {
+    /// Fit a surrogate to `(x, y)` rows in natural units.
+    pub fn fit(x: &Matrix, y: &Matrix, config: &SurrogateConfig) -> Result<Self> {
+        if x.rows() != y.rows() || x.rows() == 0 {
+            return Err(LeError::InsufficientData(format!(
+                "{} inputs vs {} outputs",
+                x.rows(),
+                y.rows()
+            )));
+        }
+        if x.as_slice().iter().chain(y.as_slice()).any(|v| !v.is_finite()) {
+            return Err(LeError::Model(
+                "training data contains non-finite values".into(),
+            ));
+        }
+        let x_scaler = Scaler::fit(x).map_err(|e| LeError::Model(e.to_string()))?;
+        let y_scaler = Scaler::fit(y).map_err(|e| LeError::Model(e.to_string()))?;
+        let xs = x_scaler.transform(x).map_err(|e| LeError::Model(e.to_string()))?;
+        let ys = y_scaler.transform(y).map_err(|e| LeError::Model(e.to_string()))?;
+        let mut layers = vec![x.cols()];
+        layers.extend_from_slice(&config.hidden);
+        layers.push(y.cols());
+        let mut rng = Rng::new(config.seed);
+        let mut net = Mlp::new(
+            MlpConfig::regression_with_dropout(&layers, config.dropout),
+            &mut rng,
+        )
+        .map_err(|e| LeError::Model(e.to_string()))?;
+        Trainer::new(TrainConfig {
+            epochs: config.epochs,
+            optimizer: Optimizer::adam(config.lr),
+            seed: config.seed ^ 0xDADA,
+            ..Default::default()
+        })
+        .fit(&mut net, &xs, &ys)
+        .map_err(|e| LeError::Model(e.to_string()))?;
+        Ok(Self {
+            net,
+            x_scaler,
+            y_scaler,
+            mc_samples: config.mc_samples.max(2),
+            mc_rng: rng.split(),
+            in_dim: x.cols(),
+            out_dim: y.cols(),
+        })
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Deterministic point prediction in natural units.
+    pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>> {
+        if input.len() != self.in_dim {
+            return Err(LeError::InvalidConfig(format!(
+                "expected {} inputs, got {}",
+                self.in_dim,
+                input.len()
+            )));
+        }
+        let mut x = input.to_vec();
+        self.x_scaler
+            .transform_slice(&mut x)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        let mut y = self
+            .net
+            .predict_one(&x)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        self.y_scaler
+            .inverse_transform_slice(&mut y)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        Ok(y)
+    }
+
+    /// MC-dropout prediction with per-output mean and std, natural units.
+    pub fn predict_with_uncertainty(&mut self, input: &[f64]) -> Result<Prediction> {
+        if input.len() != self.in_dim {
+            return Err(LeError::InvalidConfig(format!(
+                "expected {} inputs, got {}",
+                self.in_dim,
+                input.len()
+            )));
+        }
+        let mut x = input.to_vec();
+        self.x_scaler
+            .transform_slice(&mut x)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        let xm = Matrix::from_vec(1, self.in_dim, x).map_err(|e| LeError::Model(e.to_string()))?;
+        let n = self.mc_samples;
+        let mut sums = vec![0.0; self.out_dim];
+        let mut sq = vec![0.0; self.out_dim];
+        for _ in 0..n {
+            let y = self
+                .net
+                .predict_mc(&xm, &mut self.mc_rng)
+                .map_err(|e| LeError::Model(e.to_string()))?;
+            for (k, &v) in y.row(0).iter().enumerate() {
+                sums[k] += v;
+                sq[k] += v * v;
+            }
+        }
+        let nf = n as f64;
+        let mut mean: Vec<f64> = sums.iter().map(|&s| s / nf).collect();
+        let mut std: Vec<f64> = sq
+            .iter()
+            .zip(mean.iter())
+            .map(|(&s, &m)| (((s - nf * m * m) / (nf - 1.0)).max(0.0)).sqrt())
+            .collect();
+        // Back to natural units: mean affine, std multiplicative.
+        self.y_scaler
+            .inverse_transform_slice(&mut mean)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        for (k, s) in std.iter_mut().enumerate() {
+            *s = self.y_scaler.inverse_scale_std(k, *s);
+        }
+        Ok(Prediction { mean, std })
+    }
+}
+
+impl NnSurrogate {
+    /// Serialize the surrogate (network + both scalers) to a single
+    /// self-describing text blob.
+    pub fn to_string_blob(&self) -> String {
+        format!(
+            "le-surrogate v1\nmc_samples {}\n--model--\n{}--x-scaler--\n{}--y-scaler--\n{}",
+            self.mc_samples,
+            le_nn::serialize::model_to_string(&self.net),
+            le_nn::serialize::scaler_to_string(&self.x_scaler),
+            le_nn::serialize::scaler_to_string(&self.y_scaler),
+        )
+    }
+
+    /// Restore a surrogate from [`NnSurrogate::to_string_blob`] output.
+    /// `seed` re-seeds the MC-dropout stream (predictions are unaffected;
+    /// only the UQ sampling noise differs).
+    pub fn from_string_blob(blob: &str, seed: u64) -> Result<Self> {
+        let mut lines = blob.lines();
+        let magic = lines.next().unwrap_or("");
+        if magic.trim() != "le-surrogate v1" {
+            return Err(LeError::Model(format!("bad surrogate magic `{magic}`")));
+        }
+        let mc_line = lines.next().unwrap_or("");
+        let mc_samples: usize = mc_line
+            .strip_prefix("mc_samples ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| LeError::Model(format!("bad mc_samples line `{mc_line}`")))?;
+        // Split on the section markers.
+        let rest: String = blob.split_once("--model--\n").map(|x| x.1)
+            .ok_or_else(|| LeError::Model("missing model section".into()))?
+            .to_string();
+        let (model_part, rest) = rest
+            .split_once("--x-scaler--\n")
+            .ok_or_else(|| LeError::Model("missing x-scaler section".into()))?;
+        let (x_part, y_part) = rest
+            .split_once("--y-scaler--\n")
+            .ok_or_else(|| LeError::Model("missing y-scaler section".into()))?;
+        let net = le_nn::serialize::model_from_string(model_part)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        let x_scaler = le_nn::serialize::scaler_from_string(x_part)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        let y_scaler = le_nn::serialize::scaler_from_string(y_part)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        let in_dim = net.in_dim();
+        let out_dim = net.out_dim();
+        if x_scaler.cols() != in_dim || y_scaler.cols() != out_dim {
+            return Err(LeError::Model(format!(
+                "scaler/model width mismatch: x {} vs {}, y {} vs {}",
+                x_scaler.cols(),
+                in_dim,
+                y_scaler.cols(),
+                out_dim
+            )));
+        }
+        Ok(Self {
+            net,
+            x_scaler,
+            y_scaler,
+            mc_samples: mc_samples.max(2),
+            mc_rng: Rng::new(seed),
+            in_dim,
+            out_dim,
+        })
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_string_blob()).map_err(|e| LeError::Model(e.to_string()))
+    }
+
+    /// Load from a file.
+    pub fn load(path: &std::path::Path, seed: u64) -> Result<Self> {
+        let blob =
+            std::fs::read_to_string(path).map_err(|e| LeError::Model(e.to_string()))?;
+        Self::from_string_blob(&blob, seed)
+    }
+}
+
+impl UncertainModel for NnSurrogate {
+    fn predict_with_uncertainty(&mut self, x: &[f64]) -> Prediction {
+        NnSurrogate::predict_with_uncertainty(self, x)
+            .expect("dimension checked by acquisition caller")
+    }
+
+    fn predict_point(&self, x: &[f64]) -> Vec<f64> {
+        self.predict(x).expect("dimension checked by caller")
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, seed: u64) -> (Matrix, Matrix) {
+        // y0 = 10 + 5 sin(x0) + x1 ; y1 = 100 x0 (different output scales).
+        let mut rng = Rng::new(seed);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Matrix::zeros(n, 2);
+        for i in 0..n {
+            let a = rng.uniform_in(-2.0, 2.0);
+            let b = rng.uniform_in(-1.0, 1.0);
+            x.set(i, 0, a);
+            x.set(i, 1, b);
+            y.set(i, 0, 10.0 + 5.0 * a.sin() + b);
+            y.set(i, 1, 100.0 * a);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fit_and_predict_in_natural_units() {
+        let (x, y) = dataset(600, 1);
+        let s = NnSurrogate::fit(&x, &y, &SurrogateConfig::default()).unwrap();
+        assert_eq!(s.input_dim(), 2);
+        assert_eq!(s.output_dim(), 2);
+        let p = s.predict(&[1.0, 0.5]).unwrap();
+        let want0 = 10.0 + 5.0 * 1.0f64.sin() + 0.5;
+        let want1 = 100.0;
+        assert!((p[0] - want0).abs() < 1.0, "y0 {} vs {want0}", p[0]);
+        assert!((p[1] - want1).abs() < 12.0, "y1 {} vs {want1}", p[1]);
+    }
+
+    #[test]
+    fn uncertainty_in_natural_units_scales_with_output() {
+        let (x, y) = dataset(400, 2);
+        let mut s = NnSurrogate::fit(
+            &x,
+            &y,
+            &SurrogateConfig {
+                dropout: 0.2,
+                mc_samples: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let p = NnSurrogate::predict_with_uncertainty(&mut s, &[0.5, 0.0]).unwrap();
+        assert_eq!(p.mean.len(), 2);
+        assert!(p.std.iter().all(|&v| v > 0.0));
+        // Output 1 spans hundreds while output 0 spans ~10: natural-unit
+        // uncertainty should reflect that scale difference.
+        assert!(
+            p.std[1] > p.std[0],
+            "std must be unscaled to natural units: {:?}",
+            p.std
+        );
+    }
+
+    #[test]
+    fn extrapolation_more_uncertain() {
+        let (x, y) = dataset(400, 3);
+        let mut s = NnSurrogate::fit(
+            &x,
+            &y,
+            &SurrogateConfig {
+                dropout: 0.25,
+                mc_samples: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let inside = NnSurrogate::predict_with_uncertainty(&mut s, &[0.0, 0.0])
+            .unwrap()
+            .max_std();
+        let outside = NnSurrogate::predict_with_uncertainty(&mut s, &[8.0, 8.0])
+            .unwrap()
+            .max_std();
+        assert!(outside > inside, "outside {outside} vs inside {inside}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (x, y) = dataset(50, 4);
+        assert!(NnSurrogate::fit(&Matrix::zeros(0, 2), &Matrix::zeros(0, 2), &SurrogateConfig::default()).is_err());
+        assert!(NnSurrogate::fit(&x, &Matrix::zeros(10, 2), &SurrogateConfig::default()).is_err());
+        let s = NnSurrogate::fit(&x, &y, &SurrogateConfig {
+            epochs: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(s.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn blob_roundtrip_preserves_predictions() {
+        let (x, y) = dataset(200, 6);
+        let s = NnSurrogate::fit(
+            &x,
+            &y,
+            &SurrogateConfig {
+                epochs: 50,
+                dropout: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let blob = s.to_string_blob();
+        let restored = NnSurrogate::from_string_blob(&blob, 99).unwrap();
+        assert_eq!(restored.input_dim(), 2);
+        assert_eq!(restored.output_dim(), 2);
+        let probe = [0.4, -0.2];
+        assert_eq!(
+            s.predict(&probe).unwrap(),
+            restored.predict(&probe).unwrap(),
+            "bit-exact point predictions after round-trip"
+        );
+    }
+
+    #[test]
+    fn blob_rejects_corruption() {
+        let (x, y) = dataset(60, 7);
+        let s = NnSurrogate::fit(
+            &x,
+            &y,
+            &SurrogateConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let blob = s.to_string_blob();
+        assert!(NnSurrogate::from_string_blob("garbage", 0).is_err());
+        let truncated: String = blob.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(NnSurrogate::from_string_blob(&truncated, 0).is_err());
+        let no_y = blob.replace("--y-scaler--", "--nope--");
+        assert!(NnSurrogate::from_string_blob(&no_y, 0).is_err());
+    }
+
+    #[test]
+    fn file_save_load() {
+        let (x, y) = dataset(60, 8);
+        let s = NnSurrogate::fit(
+            &x,
+            &y,
+            &SurrogateConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("le_surrogate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("surrogate.txt");
+        s.save(&path).unwrap();
+        let restored = NnSurrogate::load(&path, 1).unwrap();
+        let probe = [0.1, 0.1];
+        assert_eq!(s.predict(&probe).unwrap(), restored.predict(&probe).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deterministic_point_predictions() {
+        let (x, y) = dataset(100, 5);
+        let s = NnSurrogate::fit(&x, &y, &SurrogateConfig {
+            epochs: 30,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(s.predict(&[0.3, 0.3]).unwrap(), s.predict(&[0.3, 0.3]).unwrap());
+    }
+}

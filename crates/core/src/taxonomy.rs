@@ -1,0 +1,127 @@
+//! The paper's taxonomy of ML–HPC interaction, as a typed vocabulary.
+//!
+//! "We define two broad categories: HPCforML and MLforHPC", each with
+//! sub-categories (§I). The enums are used by reports and examples to
+//! label which mode a component operates in; `describe()` carries the
+//! paper's own definitions.
+
+/// Top-level categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Using HPC to execute and enhance ML performance, or using HPC
+    /// simulations to train ML algorithms.
+    HpcForMl,
+    /// Using ML to enhance HPC applications and systems.
+    MlForHpc,
+}
+
+/// The six interaction modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Using HPC to execute ML with high performance.
+    HpcRunsMl,
+    /// Using HPC simulations to train ML algorithms, which are then used to
+    /// understand experimental data or simulations.
+    SimulationTrainedMl,
+    /// Using ML to configure (autotune) ML or HPC simulations.
+    MlAutotuning,
+    /// ML analyzing results of HPC, as in trajectory analysis and structure
+    /// identification.
+    MlAfterHpc,
+    /// Using ML to learn from simulations and produce learned surrogates
+    /// for the simulations.
+    MlAroundHpc,
+    /// Using simulations (with HPC) in control of experiments and in
+    /// objective-driven computational campaigns.
+    MlControl,
+}
+
+impl Mode {
+    /// All six modes in the paper's order of introduction.
+    pub const ALL: [Mode; 6] = [
+        Mode::HpcRunsMl,
+        Mode::SimulationTrainedMl,
+        Mode::MlAutotuning,
+        Mode::MlAfterHpc,
+        Mode::MlAroundHpc,
+        Mode::MlControl,
+    ];
+
+    /// Which top-level category the mode belongs to.
+    pub fn category(&self) -> Category {
+        match self {
+            Mode::HpcRunsMl | Mode::SimulationTrainedMl => Category::HpcForMl,
+            Mode::MlAutotuning | Mode::MlAfterHpc | Mode::MlAroundHpc | Mode::MlControl => {
+                Category::MlForHpc
+            }
+        }
+    }
+
+    /// Stable short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::HpcRunsMl => "HPCrunsML",
+            Mode::SimulationTrainedMl => "SimulationTrainedML",
+            Mode::MlAutotuning => "MLautotuning",
+            Mode::MlAfterHpc => "MLafterHPC",
+            Mode::MlAroundHpc => "MLaroundHPC",
+            Mode::MlControl => "MLControl",
+        }
+    }
+
+    /// The paper's definition of the mode.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Mode::HpcRunsMl => "Using HPC to execute ML with high performance",
+            Mode::SimulationTrainedMl => {
+                "Using HPC simulations to train ML algorithms, which are then used to \
+                 understand experimental data or simulations"
+            }
+            Mode::MlAutotuning => "Using ML to configure (autotune) ML or HPC simulations",
+            Mode::MlAfterHpc => {
+                "ML analyzing results of HPC as in trajectory analysis and structure \
+                 identification in biomolecular simulations"
+            }
+            Mode::MlAroundHpc => {
+                "Using ML to learn from simulations and produce learned surrogates for \
+                 the simulations"
+            }
+            Mode::MlControl => {
+                "Using simulations (with HPC) in control of experiments and in objective \
+                 driven computational campaigns"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_modes_split_two_four() {
+        let hpc_for_ml = Mode::ALL
+            .iter()
+            .filter(|m| m.category() == Category::HpcForMl)
+            .count();
+        let ml_for_hpc = Mode::ALL
+            .iter()
+            .filter(|m| m.category() == Category::MlForHpc)
+            .count();
+        assert_eq!(hpc_for_ml, 2);
+        assert_eq!(ml_for_hpc, 4);
+    }
+
+    #[test]
+    fn names_unique_and_nonempty() {
+        let names: std::collections::HashSet<_> = Mode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 6);
+        assert!(Mode::ALL.iter().all(|m| !m.describe().is_empty()));
+    }
+
+    #[test]
+    fn surrogates_are_ml_for_hpc() {
+        assert_eq!(Mode::MlAroundHpc.category(), Category::MlForHpc);
+        assert_eq!(Mode::MlAutotuning.category(), Category::MlForHpc);
+    }
+}

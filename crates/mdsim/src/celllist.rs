@@ -1,0 +1,272 @@
+//! Linked-cell neighbor search.
+//!
+//! Divides the slab into cells at least `cutoff` wide; each particle only
+//! interacts with particles in its own and the 26 neighboring cells,
+//! making force evaluation O(N) instead of O(N²). Cells are periodic in
+//! x/y and clamped in z (walls).
+
+use crate::system::{SlabBox, Vec3};
+
+/// Cell decomposition of a [`SlabBox`].
+#[derive(Debug, Clone)]
+pub struct CellList {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Head-of-chain particle index per cell (usize::MAX = empty).
+    head: Vec<usize>,
+    /// Next particle in the same cell chain (usize::MAX = end).
+    next: Vec<usize>,
+    bbox: SlabBox,
+}
+
+const NONE: usize = usize::MAX;
+
+impl CellList {
+    /// Build a cell list for `positions` with the given interaction cutoff.
+    /// Falls back to a single cell per axis when the box is smaller than the
+    /// cutoff (which degrades to the O(N²) all-pairs loop — still correct).
+    pub fn build(bbox: SlabBox, cutoff: f64, positions: &[Vec3]) -> Self {
+        debug_assert!(cutoff > 0.0);
+        let nx = (bbox.lx / cutoff).floor().max(1.0) as usize;
+        let ny = (bbox.ly / cutoff).floor().max(1.0) as usize;
+        let nz = (bbox.h / cutoff).floor().max(1.0) as usize;
+        let mut list = Self {
+            nx,
+            ny,
+            nz,
+            head: vec![NONE; nx * ny * nz],
+            next: vec![NONE; positions.len()],
+            bbox,
+        };
+        for (i, r) in positions.iter().enumerate() {
+            let c = list.cell_of(r);
+            list.next[i] = list.head[c];
+            list.head[c] = i;
+        }
+        list
+    }
+
+    /// Grid shape `(nx, ny, nz)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    #[inline]
+    fn cell_of(&self, r: &Vec3) -> usize {
+        // Positions may sit exactly on the upper boundary; clamp.
+        let fx = (r[0] / self.bbox.lx).rem_euclid(1.0);
+        let fy = (r[1] / self.bbox.ly).rem_euclid(1.0);
+        let fz = (r[2] / self.bbox.h).clamp(0.0, 1.0 - 1e-12);
+        let ix = ((fx * self.nx as f64) as usize).min(self.nx - 1);
+        let iy = ((fy * self.ny as f64) as usize).min(self.ny - 1);
+        let iz = ((fz * self.nz as f64) as usize).min(self.nz - 1);
+        (iz * self.ny + iy) * self.nx + ix
+    }
+
+    /// Visit every unordered particle pair within neighboring cells.
+    /// `f(i, j)` is called exactly once per pair with `i < j` not guaranteed
+    /// — but each unordered pair is visited exactly once.
+    pub fn for_each_pair(&self, mut f: impl FnMut(usize, usize)) {
+        // Half-shell stencil: each cell interacts with itself and 13
+        // forward neighbors, so every cell pair is visited once.
+        const HALF_STENCIL: [(i64, i64, i64); 13] = [
+            (1, 0, 0),
+            (-1, 1, 0),
+            (0, 1, 0),
+            (1, 1, 0),
+            (-1, -1, 1),
+            (0, -1, 1),
+            (1, -1, 1),
+            (-1, 0, 1),
+            (0, 0, 1),
+            (1, 0, 1),
+            (-1, 1, 1),
+            (0, 1, 1),
+            (1, 1, 1),
+        ];
+        let (nx, ny, nz) = (self.nx as i64, self.ny as i64, self.nz as i64);
+        // With fewer than 3 cells along a periodic axis the half stencil
+        // would alias cells; collect neighbor pairs in a dedup set instead.
+        let small = self.nx < 3 || self.ny < 3 || self.nz < 3;
+        if small {
+            self.for_each_pair_small(&mut f);
+            return;
+        }
+        for iz in 0..nz {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let c = ((iz * ny + iy) * nx + ix) as usize;
+                    // Intra-cell pairs.
+                    let mut i = self.head[c];
+                    while i != NONE {
+                        let mut j = self.next[i];
+                        while j != NONE {
+                            f(i, j);
+                            j = self.next[j];
+                        }
+                        i = self.next[i];
+                    }
+                    // Cross-cell pairs with the forward half-shell.
+                    for &(dx, dy, dz) in &HALF_STENCIL {
+                        let jx = (ix + dx).rem_euclid(nx);
+                        let jy = (iy + dy).rem_euclid(ny);
+                        let jz = iz + dz;
+                        if jz < 0 || jz >= nz {
+                            continue; // walls: no z wrap
+                        }
+                        let c2 = ((jz * ny + jy) * nx + jx) as usize;
+                        let mut i = self.head[c];
+                        while i != NONE {
+                            let mut j = self.head[c2];
+                            while j != NONE {
+                                f(i, j);
+                                j = self.next[j];
+                            }
+                            i = self.next[i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fallback for small grids: enumerate candidate cell pairs with
+    /// dedup, then particle pairs (i < j) once each.
+    fn for_each_pair_small(&self, f: &mut impl FnMut(usize, usize)) {
+        let n = self.next.len();
+        for i in 0..n {
+            for j in i + 1..n {
+                f(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use le_linalg::Rng;
+    use std::collections::HashSet;
+
+    fn random_positions(n: usize, bbox: &SlabBox, seed: u64) -> Vec<Vec3> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| {
+                [
+                    rng.uniform_in(0.0, bbox.lx),
+                    rng.uniform_in(0.0, bbox.ly),
+                    rng.uniform_in(1e-3, bbox.h - 1e-3),
+                ]
+            })
+            .collect()
+    }
+
+    /// Brute-force neighbor pairs within cutoff (minimum image).
+    fn brute_pairs(bbox: &SlabBox, cutoff: f64, pos: &[Vec3]) -> HashSet<(usize, usize)> {
+        let mut out = HashSet::new();
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let d = bbox.min_image(&pos[i], &pos[j]);
+                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= cutoff * cutoff {
+                    out.insert((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn cell_pairs(bbox: SlabBox, cutoff: f64, pos: &[Vec3]) -> (HashSet<(usize, usize)>, usize) {
+        let cl = CellList::build(bbox, cutoff, pos);
+        let mut within = HashSet::new();
+        let mut visited = 0usize;
+        cl.for_each_pair(|i, j| {
+            visited += 1;
+            let d = bbox.min_image(&pos[i], &pos[j]);
+            if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= cutoff * cutoff {
+                within.insert((i.min(j), i.max(j)));
+            }
+        });
+        (within, visited)
+    }
+
+    #[test]
+    fn finds_all_pairs_within_cutoff_large_box() {
+        let bbox = SlabBox::new(12.0, 12.0, 9.0).unwrap();
+        let pos = random_positions(300, &bbox, 11);
+        let cutoff = 2.0;
+        let brute = brute_pairs(&bbox, cutoff, &pos);
+        let (cell, _) = cell_pairs(bbox, cutoff, &pos);
+        assert_eq!(cell, brute, "cell list must find exactly the brute-force pairs");
+    }
+
+    #[test]
+    fn finds_all_pairs_small_box_fallback() {
+        // Box smaller than 3 cells per axis triggers the fallback path.
+        let bbox = SlabBox::new(3.0, 3.0, 2.0).unwrap();
+        let pos = random_positions(60, &bbox, 12);
+        let cutoff = 1.5;
+        let brute = brute_pairs(&bbox, cutoff, &pos);
+        let (cell, _) = cell_pairs(bbox, cutoff, &pos);
+        assert_eq!(cell, brute);
+    }
+
+    #[test]
+    fn no_pair_visited_twice_large_grid() {
+        let bbox = SlabBox::new(15.0, 15.0, 12.0).unwrap();
+        let pos = random_positions(200, &bbox, 13);
+        let cl = CellList::build(bbox, 2.0, &pos);
+        let mut seen = HashSet::new();
+        cl.for_each_pair(|i, j| {
+            assert_ne!(i, j, "self pair");
+            let key = (i.min(j), i.max(j));
+            assert!(seen.insert(key), "pair {key:?} visited twice");
+        });
+    }
+
+    #[test]
+    fn visited_pairs_scale_sub_quadratically() {
+        let bbox = SlabBox::new(30.0, 30.0, 30.0).unwrap();
+        let n = 1000;
+        let pos = random_positions(n, &bbox, 14);
+        let (_, visited) = cell_pairs(bbox, 2.0, &pos);
+        let all_pairs = n * (n - 1) / 2;
+        assert!(
+            visited < all_pairs / 10,
+            "cell list visited {visited} of {all_pairs} pairs — not O(N)"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_particle() {
+        let bbox = SlabBox::new(5.0, 5.0, 5.0).unwrap();
+        let cl = CellList::build(bbox, 1.0, &[]);
+        let mut count = 0;
+        cl.for_each_pair(|_, _| count += 1);
+        assert_eq!(count, 0);
+        let cl1 = CellList::build(bbox, 1.0, &[[1.0, 1.0, 1.0]]);
+        cl1.for_each_pair(|_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn boundary_positions_are_binned() {
+        let bbox = SlabBox::new(5.0, 5.0, 5.0).unwrap();
+        // Exactly on the edges — binning must not panic or index out of
+        // range, and the wrap-around x pair must be found.
+        let pos = vec![[0.05, 2.5, 2.5], [4.95, 2.5, 2.5], [5.0, 5.0, 5.0]];
+        let cl = CellList::build(bbox, 1.0, &pos);
+        let (nx, ny, nz) = cl.shape();
+        assert_eq!((nx, ny, nz), (5, 5, 5));
+        let mut found_wrap_pair = false;
+        cl.for_each_pair(|i, j| {
+            if (i.min(j), i.max(j)) == (0, 1) {
+                found_wrap_pair = true;
+            }
+        });
+        assert!(
+            found_wrap_pair,
+            "periodic x neighbors (0.05 and 4.95) must be paired"
+        );
+    }
+}

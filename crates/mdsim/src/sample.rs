@@ -1,0 +1,360 @@
+//! Observable sampling: z-density profiles with block averaging, and the
+//! contact / mid-plane / peak density extraction that the nanoconfinement
+//! surrogate learns (paper ref \[26\]).
+//!
+//! §III-D of the paper emphasizes *blocking*: samples fed to the ML layer
+//! should be separated by more than the autocorrelation time `d_c`, so each
+//! is statistically independent. [`DensityProfiler`] therefore accumulates
+//! per-block histograms and exposes block means/standard errors.
+
+use crate::system::System;
+
+/// Accumulates a z-density histogram for a chosen charge sign, in blocks.
+#[derive(Debug, Clone)]
+pub struct DensityProfiler {
+    /// Number of z bins.
+    bins: usize,
+    /// Slab height.
+    h: f64,
+    /// Area of the x/y cross-section (for number density normalization).
+    area: f64,
+    /// Which particles to count: +1 counts cations, -1 anions, 0 all.
+    sign: i32,
+    /// Completed blocks: each is a normalized density profile.
+    blocks: Vec<Vec<f64>>,
+    /// Current block accumulation.
+    current: Vec<f64>,
+    /// Snapshots in the current block.
+    current_count: usize,
+    /// Snapshots per block.
+    per_block: usize,
+}
+
+impl DensityProfiler {
+    /// New profiler. `per_block` snapshots are averaged into each block;
+    /// blocks should be longer than the observable's autocorrelation time.
+    pub fn new(bins: usize, h: f64, area: f64, sign: i32, per_block: usize) -> Self {
+        assert!(bins > 0 && h > 0.0 && area > 0.0);
+        Self {
+            bins,
+            h,
+            area,
+            sign,
+            blocks: Vec::new(),
+            current: vec![0.0; bins],
+            current_count: 0,
+            per_block: per_block.max(1),
+        }
+    }
+
+    /// Record one configuration snapshot.
+    pub fn record(&mut self, sys: &System) {
+        let bin_w = self.h / self.bins as f64;
+        for (r, &q) in sys.pos.iter().zip(sys.charge.iter()) {
+            let counted = match self.sign {
+                0 => true,
+                s if s > 0 => q > 0.0,
+                _ => q < 0.0,
+            };
+            if !counted {
+                continue;
+            }
+            let z = r[2].clamp(0.0, self.h - 1e-12);
+            let b = (z / bin_w) as usize;
+            self.current[b.min(self.bins - 1)] += 1.0;
+        }
+        self.current_count += 1;
+        if self.current_count >= self.per_block {
+            self.flush_block();
+        }
+    }
+
+    fn flush_block(&mut self) {
+        if self.current_count == 0 {
+            return;
+        }
+        let bin_w = self.h / self.bins as f64;
+        let norm = 1.0 / (self.current_count as f64 * self.area * bin_w);
+        let profile: Vec<f64> = self.current.iter().map(|&c| c * norm).collect();
+        self.blocks.push(profile);
+        self.current.iter_mut().for_each(|c| *c = 0.0);
+        self.current_count = 0;
+    }
+
+    /// Number of completed blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Mean density profile over completed blocks (number density, 1/nm³).
+    /// Any partial block is flushed first.
+    pub fn profile(&mut self) -> Vec<f64> {
+        self.flush_block();
+        if self.blocks.is_empty() {
+            return vec![0.0; self.bins];
+        }
+        let mut mean = vec![0.0; self.bins];
+        for block in &self.blocks {
+            for (m, &v) in mean.iter_mut().zip(block.iter()) {
+                *m += v;
+            }
+        }
+        let n = self.blocks.len() as f64;
+        mean.iter_mut().for_each(|m| *m /= n);
+        mean
+    }
+
+    /// Standard error per bin across blocks (zero with < 2 blocks).
+    pub fn standard_error(&mut self) -> Vec<f64> {
+        self.flush_block();
+        let n = self.blocks.len();
+        if n < 2 {
+            return vec![0.0; self.bins];
+        }
+        let mean = {
+            let mut m = vec![0.0; self.bins];
+            for block in &self.blocks {
+                for (mi, &v) in m.iter_mut().zip(block.iter()) {
+                    *mi += v;
+                }
+            }
+            m.iter_mut().for_each(|mi| *mi /= n as f64);
+            m
+        };
+        let mut se = vec![0.0; self.bins];
+        for block in &self.blocks {
+            for ((s, &v), &m) in se.iter_mut().zip(block.iter()).zip(mean.iter()) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        se.iter_mut()
+            .for_each(|s| *s = (*s / ((n - 1) as f64 * n as f64)).sqrt());
+        se
+    }
+
+    /// Bin centers (z coordinates).
+    pub fn bin_centers(&self) -> Vec<f64> {
+        let w = self.h / self.bins as f64;
+        (0..self.bins).map(|i| (i as f64 + 0.5) * w).collect()
+    }
+}
+
+/// The three learned outputs of ref [26], extracted from a density profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileFeatures {
+    /// Density in the first bin adjacent to the wall (contact density),
+    /// symmetrized over both walls.
+    pub contact: f64,
+    /// Density at the slab mid-plane.
+    pub mid: f64,
+    /// Maximum density anywhere in the profile.
+    pub peak: f64,
+}
+
+/// Extract contact/mid/peak features from a profile.
+/// The profile is symmetrized (the physical system is mirror-symmetric), so
+/// contact uses the average of the first and last bins.
+pub fn extract_features(profile: &[f64]) -> ProfileFeatures {
+    assert!(!profile.is_empty());
+    let n = profile.len();
+    let contact = 0.5 * (profile[0] + profile[n - 1]);
+    let mid = if n % 2 == 1 {
+        profile[n / 2]
+    } else {
+        0.5 * (profile[n / 2 - 1] + profile[n / 2])
+    };
+    let peak = profile.iter().fold(0.0f64, |m, &v| m.max(v));
+    ProfileFeatures { contact, mid, peak }
+}
+
+/// Extract features measuring the contact density at the *contact plane* —
+/// the distance of closest approach `z_contact` from each wall — rather
+/// than at the wall surface itself. With soft repulsive walls the first
+/// bins inside the exclusion zone are empty, so the physically meaningful
+/// contact value is the density where ions can actually touch the wall.
+pub fn extract_features_at_contact(profile: &[f64], h: f64, z_contact: f64) -> ProfileFeatures {
+    assert!(!profile.is_empty());
+    assert!(h > 0.0 && z_contact >= 0.0 && 2.0 * z_contact < h);
+    let n = profile.len();
+    let bin_w = h / n as f64;
+    let ic = ((z_contact / bin_w) as usize).min(n - 1);
+    let contact = 0.5 * (profile[ic] + profile[n - 1 - ic]);
+    let base = extract_features(profile);
+    ProfileFeatures {
+        contact,
+        mid: base.mid,
+        peak: base.peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{SlabBox, Species, System};
+    use le_linalg::Rng;
+
+    fn uniform_system(n: usize, seed: u64) -> System {
+        let bbox = SlabBox::new(4.0, 4.0, 2.0).unwrap();
+        let mut sys = System::new(bbox);
+        let mut rng = Rng::new(seed);
+        sys.insert_species(
+            Species {
+                valency: 1,
+                diameter: 0.01, // effectively point particles
+                mass: 1.0,
+            },
+            n,
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
+        sys
+    }
+
+    #[test]
+    fn density_normalization_integrates_to_count() {
+        let sys = uniform_system(500, 51);
+        let mut prof = DensityProfiler::new(20, 2.0, 16.0, 0, 1);
+        prof.record(&sys);
+        let profile = prof.profile();
+        // Integral of density over volume = N.
+        let bin_w = 2.0 / 20.0;
+        let total: f64 = profile.iter().map(|&d| d * 16.0 * bin_w).sum();
+        assert!((total - 500.0).abs() < 1e-9, "integral {total}");
+    }
+
+    #[test]
+    fn uniform_gas_gives_flat_profile() {
+        // Many snapshots of independently re-placed particles → flat.
+        let bbox = SlabBox::new(4.0, 4.0, 2.0).unwrap();
+        let mut prof = DensityProfiler::new(10, 2.0, 16.0, 0, 5);
+        let mut rng = Rng::new(52);
+        for _ in 0..200 {
+            let mut sys = System::new(bbox);
+            sys.insert_species(
+                Species {
+                    valency: 1,
+                    diameter: 0.01,
+                    mass: 1.0,
+                },
+                100,
+                1.0,
+                &mut rng,
+            )
+            .unwrap();
+            prof.record(&sys);
+        }
+        let profile = prof.profile();
+        let expected = 100.0 / (16.0 * 2.0); // N/V
+        // Interior bins (margin excluded: insertion keeps a diameter margin).
+        for (i, &d) in profile.iter().enumerate().skip(1).take(8) {
+            assert!(
+                (d - expected).abs() < 0.15 * expected,
+                "bin {i}: {d} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sign_filter_counts_only_matching_species() {
+        let bbox = SlabBox::new(4.0, 4.0, 2.0).unwrap();
+        let mut sys = System::new(bbox);
+        let mut rng = Rng::new(53);
+        sys.insert_species(
+            Species {
+                valency: 1,
+                diameter: 0.01,
+                mass: 1.0,
+            },
+            30,
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
+        sys.insert_species(
+            Species {
+                valency: -1,
+                diameter: 0.01,
+                mass: 1.0,
+            },
+            70,
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
+        let bin_w = 2.0 / 10.0;
+        let count_of = |sign: i32| -> f64 {
+            let mut p = DensityProfiler::new(10, 2.0, 16.0, sign, 1);
+            p.record(&sys);
+            p.profile().iter().map(|&d| d * 16.0 * bin_w).sum()
+        };
+        assert!((count_of(1) - 30.0).abs() < 1e-9);
+        assert!((count_of(-1) - 70.0).abs() < 1e-9);
+        assert!((count_of(0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_averaging_counts_blocks() {
+        let sys = uniform_system(10, 54);
+        let mut prof = DensityProfiler::new(5, 2.0, 16.0, 0, 4);
+        for _ in 0..10 {
+            prof.record(&sys);
+        }
+        assert_eq!(prof.n_blocks(), 2, "10 snapshots / 4 per block = 2 full");
+        let _ = prof.profile(); // flushes the partial block of 2
+        assert_eq!(prof.n_blocks(), 3);
+    }
+
+    #[test]
+    fn standard_error_zero_for_identical_blocks() {
+        let sys = uniform_system(10, 55);
+        let mut prof = DensityProfiler::new(5, 2.0, 16.0, 0, 1);
+        for _ in 0..5 {
+            prof.record(&sys); // same snapshot every time
+        }
+        let se = prof.standard_error();
+        assert!(se.iter().all(|&s| s < 1e-12));
+    }
+
+    #[test]
+    fn extract_features_odd_and_even() {
+        let odd = [1.0, 2.0, 5.0, 2.0, 1.5];
+        let f = extract_features(&odd);
+        assert_eq!(f.contact, 1.25);
+        assert_eq!(f.mid, 5.0);
+        assert_eq!(f.peak, 5.0);
+        let even = [3.0, 1.0, 2.0, 4.0];
+        let f = extract_features(&even);
+        assert_eq!(f.contact, 3.5);
+        assert_eq!(f.mid, 1.5);
+        assert_eq!(f.peak, 4.0);
+    }
+
+    #[test]
+    fn contact_plane_extraction_skips_excluded_bins() {
+        // 10 bins over h = 2: bins 0-1 are inside the exclusion zone.
+        let mut profile = vec![0.0; 10];
+        profile[2] = 4.0; // contact plane density (z ≈ 0.5)
+        profile[7] = 6.0; // mirror side
+        profile[5] = 1.0;
+        let f = extract_features_at_contact(&profile, 2.0, 0.5);
+        assert_eq!(f.contact, 5.0, "average of the two contact-plane bins");
+        assert_eq!(f.peak, 6.0);
+        // Plain extraction would read the empty wall bins instead.
+        assert_eq!(extract_features(&profile).contact, 0.0);
+    }
+
+    #[test]
+    fn contact_plane_zero_offset_matches_plain() {
+        let profile = [2.0, 1.0, 3.0, 1.5, 2.5];
+        let a = extract_features(&profile);
+        let b = extract_features_at_contact(&profile, 1.0, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bin_centers_cover_slab() {
+        let prof = DensityProfiler::new(4, 2.0, 1.0, 0, 1);
+        assert_eq!(prof.bin_centers(), vec![0.25, 0.75, 1.25, 1.75]);
+    }
+}

@@ -1,0 +1,378 @@
+//! Particle storage and the slab simulation box.
+//!
+//! Geometry: the box is periodic in x and y with side lengths `lx`, `ly`,
+//! and bounded in z by hard confining walls at `z = 0` and `z = h` (the
+//! walls themselves are soft LJ 9-3 potentials applied in `forces`). All
+//! lengths are in nanometers, energies in kT, masses in reduced units.
+
+use le_linalg::Rng;
+
+use crate::{MdError, Result};
+
+/// 3-vector helper functions operate on `[f64; 3]` to keep storage flat.
+pub type Vec3 = [f64; 3];
+
+/// The slab simulation box: periodic in x/y, confined in z.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlabBox {
+    /// Periodic side length in x (nm).
+    pub lx: f64,
+    /// Periodic side length in y (nm).
+    pub ly: f64,
+    /// Wall separation in z (nm); walls at z = 0 and z = h.
+    pub h: f64,
+}
+
+impl SlabBox {
+    /// Construct, validating positivity.
+    pub fn new(lx: f64, ly: f64, h: f64) -> Result<Self> {
+        if lx <= 0.0 || ly <= 0.0 || h <= 0.0 {
+            return Err(MdError::InvalidParam(format!(
+                "box dimensions must be positive: lx={lx}, ly={ly}, h={h}"
+            )));
+        }
+        Ok(Self { lx, ly, h })
+    }
+
+    /// Volume in nm³.
+    pub fn volume(&self) -> f64 {
+        self.lx * self.ly * self.h
+    }
+
+    /// Minimum-image displacement `r_i - r_j` honoring x/y periodicity.
+    /// z is not wrapped (walls).
+    #[inline]
+    pub fn min_image(&self, ri: &Vec3, rj: &Vec3) -> Vec3 {
+        let mut dx = ri[0] - rj[0];
+        let mut dy = ri[1] - rj[1];
+        let dz = ri[2] - rj[2];
+        dx -= self.lx * (dx / self.lx).round();
+        dy -= self.ly * (dy / self.ly).round();
+        [dx, dy, dz]
+    }
+
+    /// Wrap a position into the primary cell in x/y; z is left alone.
+    #[inline]
+    pub fn wrap(&self, r: &mut Vec3) {
+        r[0] -= self.lx * (r[0] / self.lx).floor();
+        r[1] -= self.ly * (r[1] / self.ly).floor();
+    }
+}
+
+/// Per-species ion description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Species {
+    /// Signed valency (e.g. +1, -1, +2).
+    pub valency: i32,
+    /// LJ diameter σ in nm.
+    pub diameter: f64,
+    /// Reduced mass.
+    pub mass: f64,
+}
+
+/// Structure-of-arrays particle system.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// Simulation box.
+    pub bbox: SlabBox,
+    /// Positions (nm).
+    pub pos: Vec<Vec3>,
+    /// Velocities.
+    pub vel: Vec<Vec3>,
+    /// Forces (kT/nm), filled by the force kernels.
+    pub force: Vec<Vec3>,
+    /// Signed charge of each particle (units of e).
+    pub charge: Vec<f64>,
+    /// LJ diameter of each particle (nm).
+    pub diameter: Vec<f64>,
+    /// Mass of each particle (reduced).
+    pub mass: Vec<f64>,
+}
+
+impl System {
+    /// Empty system in the given box.
+    pub fn new(bbox: SlabBox) -> Self {
+        Self {
+            bbox,
+            pos: Vec::new(),
+            vel: Vec::new(),
+            force: Vec::new(),
+            charge: Vec::new(),
+            diameter: Vec::new(),
+            mass: Vec::new(),
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Insert `count` particles of one species at random non-overlapping
+    /// positions (simple rejection against previously placed particles),
+    /// velocities drawn from Maxwell–Boltzmann at temperature `temp` (kT).
+    pub fn insert_species(
+        &mut self,
+        species: Species,
+        count: usize,
+        temp: f64,
+        rng: &mut Rng,
+    ) -> Result<()> {
+        let margin = 0.5 * species.diameter;
+        if 2.0 * margin >= self.bbox.h {
+            return Err(MdError::InvalidParam(format!(
+                "ion diameter {} does not fit in slab of height {}",
+                species.diameter, self.bbox.h
+            )));
+        }
+        let v_std = (temp / species.mass).sqrt();
+        for _ in 0..count {
+            let mut placed = false;
+            // Rejection sampling with a generous attempt budget; fall back
+            // to accepting the overlap (Langevin dynamics relaxes it).
+            for _attempt in 0..200 {
+                let candidate: Vec3 = [
+                    rng.uniform_in(0.0, self.bbox.lx),
+                    rng.uniform_in(0.0, self.bbox.ly),
+                    rng.uniform_in(margin, self.bbox.h - margin),
+                ];
+                let ok = self.pos.iter().enumerate().all(|(j, rj)| {
+                    let d = self.bbox.min_image(&candidate, rj);
+                    let min_sep = 0.8 * 0.5 * (species.diameter + self.diameter[j]);
+                    d[0] * d[0] + d[1] * d[1] + d[2] * d[2] > min_sep * min_sep
+                });
+                if ok {
+                    self.push_particle(candidate, species, v_std, rng);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                // Dense system: place anyway at a random point; the soft
+                // core plus thermostat will relax it during equilibration.
+                let candidate: Vec3 = [
+                    rng.uniform_in(0.0, self.bbox.lx),
+                    rng.uniform_in(0.0, self.bbox.ly),
+                    rng.uniform_in(margin, self.bbox.h - margin),
+                ];
+                self.push_particle(candidate, species, v_std, rng);
+            }
+        }
+        Ok(())
+    }
+
+    fn push_particle(&mut self, pos: Vec3, species: Species, v_std: f64, rng: &mut Rng) {
+        self.pos.push(pos);
+        self.vel.push([
+            rng.gaussian() * v_std,
+            rng.gaussian() * v_std,
+            rng.gaussian() * v_std,
+        ]);
+        self.force.push([0.0; 3]);
+        self.charge.push(species.valency as f64);
+        self.diameter.push(species.diameter);
+        self.mass.push(species.mass);
+    }
+
+    /// Net charge of the system (units of e).
+    pub fn net_charge(&self) -> f64 {
+        self.charge.iter().sum()
+    }
+
+    /// Instantaneous kinetic energy (kT units since velocities carry kT).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.vel
+            .iter()
+            .zip(self.mass.iter())
+            .map(|(v, &m)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+
+    /// Instantaneous kinetic temperature via equipartition: `2 KE / (3 N)`.
+    pub fn temperature(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.kinetic_energy() / (3.0 * self.len() as f64)
+    }
+
+    /// Remove center-of-mass drift (applied after velocity initialization).
+    pub fn zero_momentum(&mut self) {
+        if self.is_empty() {
+            return;
+        }
+        let total_mass: f64 = self.mass.iter().sum();
+        let mut p = [0.0f64; 3];
+        for (v, &m) in self.vel.iter().zip(self.mass.iter()) {
+            for k in 0..3 {
+                p[k] += m * v[k];
+            }
+        }
+        for k in 0..3 {
+            p[k] /= total_mass;
+        }
+        for v in &mut self.vel {
+            for k in 0..3 {
+                v[k] -= p[k];
+            }
+        }
+    }
+
+    /// Check that every position and velocity is finite; returns the first
+    /// offending particle index otherwise.
+    pub fn validate_finite(&self) -> std::result::Result<(), usize> {
+        for (i, (r, v)) in self.pos.iter().zip(self.vel.iter()).enumerate() {
+            if r.iter().chain(v.iter()).any(|x| !x.is_finite()) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_species() -> Species {
+        Species {
+            valency: 1,
+            diameter: 0.3,
+            mass: 1.0,
+        }
+    }
+
+    #[test]
+    fn box_validation() {
+        assert!(SlabBox::new(3.0, 3.0, 2.0).is_ok());
+        assert!(SlabBox::new(0.0, 3.0, 2.0).is_err());
+        assert!(SlabBox::new(3.0, -1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn min_image_wraps_xy_not_z() {
+        let b = SlabBox::new(10.0, 10.0, 5.0).unwrap();
+        let d = b.min_image(&[9.5, 0.5, 4.0], &[0.5, 9.5, 1.0]);
+        assert!((d[0] + 1.0).abs() < 1e-12, "x wraps: {}", d[0]);
+        assert!((d[1] - 1.0).abs() < 1e-12, "y wraps: {}", d[1]);
+        assert!((d[2] - 3.0).abs() < 1e-12, "z does not wrap: {}", d[2]);
+    }
+
+    #[test]
+    fn min_image_is_antisymmetric() {
+        let b = SlabBox::new(7.0, 9.0, 4.0).unwrap();
+        let ri = [6.8, 0.1, 3.0];
+        let rj = [0.2, 8.8, 1.0];
+        let dij = b.min_image(&ri, &rj);
+        let dji = b.min_image(&rj, &ri);
+        for k in 0..3 {
+            assert!((dij[k] + dji[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrap_moves_into_cell() {
+        let b = SlabBox::new(5.0, 5.0, 3.0).unwrap();
+        let mut r = [-0.1, 5.2, 10.0];
+        b.wrap(&mut r);
+        assert!((0.0..5.0).contains(&r[0]));
+        assert!((0.0..5.0).contains(&r[1]));
+        assert_eq!(r[2], 10.0, "z untouched by wrap");
+    }
+
+    #[test]
+    fn insertion_places_particles_inside() {
+        let b = SlabBox::new(4.0, 4.0, 3.0).unwrap();
+        let mut sys = System::new(b);
+        let mut rng = Rng::new(1);
+        sys.insert_species(test_species(), 50, 1.0, &mut rng).unwrap();
+        assert_eq!(sys.len(), 50);
+        for r in &sys.pos {
+            assert!((0.0..4.0).contains(&r[0]));
+            assert!((0.0..4.0).contains(&r[1]));
+            assert!(r[2] > 0.0 && r[2] < 3.0, "z in slab: {}", r[2]);
+        }
+    }
+
+    #[test]
+    fn insertion_rejects_oversized_ion() {
+        let b = SlabBox::new(4.0, 4.0, 0.2).unwrap();
+        let mut sys = System::new(b);
+        let mut rng = Rng::new(2);
+        assert!(sys.insert_species(test_species(), 1, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn maxwell_boltzmann_temperature() {
+        let b = SlabBox::new(10.0, 10.0, 10.0).unwrap();
+        let mut sys = System::new(b);
+        let mut rng = Rng::new(3);
+        sys.insert_species(test_species(), 2000, 1.5, &mut rng).unwrap();
+        let t = sys.temperature();
+        assert!((t - 1.5).abs() < 0.1, "kinetic temperature {t} should be ~1.5");
+    }
+
+    #[test]
+    fn zero_momentum_zeroes_momentum() {
+        let b = SlabBox::new(5.0, 5.0, 5.0).unwrap();
+        let mut sys = System::new(b);
+        let mut rng = Rng::new(4);
+        sys.insert_species(test_species(), 100, 1.0, &mut rng).unwrap();
+        sys.zero_momentum();
+        let mut p = [0.0f64; 3];
+        for (v, &m) in sys.vel.iter().zip(sys.mass.iter()) {
+            for k in 0..3 {
+                p[k] += m * v[k];
+            }
+        }
+        for k in 0..3 {
+            assert!(p[k].abs() < 1e-10, "momentum component {k}: {}", p[k]);
+        }
+    }
+
+    #[test]
+    fn net_charge_counts_valencies() {
+        let b = SlabBox::new(5.0, 5.0, 5.0).unwrap();
+        let mut sys = System::new(b);
+        let mut rng = Rng::new(5);
+        sys.insert_species(
+            Species {
+                valency: 2,
+                diameter: 0.3,
+                mass: 1.0,
+            },
+            3,
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
+        sys.insert_species(
+            Species {
+                valency: -1,
+                diameter: 0.3,
+                mass: 1.0,
+            },
+            6,
+            1.0,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(sys.net_charge().abs() < 1e-12, "electroneutral");
+    }
+
+    #[test]
+    fn validate_finite_detects_nan() {
+        let b = SlabBox::new(5.0, 5.0, 5.0).unwrap();
+        let mut sys = System::new(b);
+        let mut rng = Rng::new(6);
+        sys.insert_species(test_species(), 3, 1.0, &mut rng).unwrap();
+        assert!(sys.validate_finite().is_ok());
+        sys.pos[1][2] = f64::NAN;
+        assert_eq!(sys.validate_finite(), Err(1));
+    }
+}

@@ -1,0 +1,183 @@
+//! Collective communication primitives over shared-memory threads.
+//!
+//! §III-A: "To foster faster model convergence, we need to design new
+//! collective communication abstractions … optimized collective
+//! communication can improve the model update speed." This module provides
+//! three allreduce algorithms with different communication structure, so
+//! the E7 bench can compare them the way MPI implementations are compared:
+//!
+//! * [`allreduce_flat`] — every worker's vector is summed by one thread
+//!   (O(P·N) sequential work at the root; the naive baseline).
+//! * [`allreduce_tree`] — binary-tree pairwise reduction (O(log P) depth,
+//!   parallel combines).
+//! * [`allreduce_ring`] — the bandwidth-optimal ring: each worker owns
+//!   1/P of the vector, reduce-scatter then all-gather (2(P−1)/P · N data
+//!   moved per worker, combines fully parallel).
+//!
+//! All three return the *same* sums (up to floating-point association), so
+//! they are drop-in replacements in the Allreduce computation model.
+
+use crate::sync::partition;
+
+/// Sum `inputs` (all the same length) into a single vector, sequentially at
+/// a single root — the flat baseline.
+pub fn allreduce_flat(inputs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!inputs.is_empty(), "allreduce of nothing");
+    let n = inputs[0].len();
+    debug_assert!(inputs.iter().all(|v| v.len() == n));
+    let mut out = vec![0.0; n];
+    for v in inputs {
+        for (o, &x) in out.iter_mut().zip(v.iter()) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// Binary-tree pairwise reduction: pairs combine in parallel, halving the
+/// participant count each round.
+pub fn allreduce_tree(inputs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!inputs.is_empty(), "allreduce of nothing");
+    let mut layer: Vec<Vec<f64>> = inputs.to_vec();
+    while layer.len() > 1 {
+        let pairs: Vec<(usize, usize)> = (0..layer.len() / 2)
+            .map(|i| (2 * i, 2 * i + 1))
+            .collect();
+        let leftover = if layer.len() % 2 == 1 {
+            Some(layer.len() - 1)
+        } else {
+            None
+        };
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(layer.len().div_ceil(2));
+        // Combine pairs in parallel with scoped threads.
+        let combined: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .iter()
+                .map(|&(a, b)| {
+                    let va = &layer[a];
+                    let vb = &layer[b];
+                    s.spawn(move || {
+                        va.iter().zip(vb.iter()).map(|(&x, &y)| x + y).collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
+        next.extend(combined);
+        if let Some(idx) = leftover {
+            next.push(layer[idx].clone());
+        }
+        layer = next;
+    }
+    layer.pop().expect("single survivor")
+}
+
+/// Ring allreduce: reduce-scatter then all-gather over vector chunks.
+/// Workers own chunk `partition(n, P)[p]`; in P−1 reduce steps chunk sums
+/// travel around the ring; in P−1 gather steps the finished chunks do.
+/// This shared-memory rendition performs the same chunked data movement as
+/// the distributed algorithm.
+pub fn allreduce_ring(inputs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!inputs.is_empty(), "allreduce of nothing");
+    let p = inputs.len();
+    let n = inputs[0].len();
+    if p == 1 {
+        return inputs[0].clone();
+    }
+    let chunks = partition(n, p);
+    // Working copies (the algorithm mutates per-worker buffers).
+    let mut buffers: Vec<Vec<f64>> = inputs.to_vec();
+    // Reduce-scatter: at step s, worker w sends chunk (w - s) mod p to
+    // worker (w + 1) mod p, which accumulates it. After P-1 steps, worker
+    // w holds the fully-reduced chunk (w + 1) mod p.
+    for step in 0..p - 1 {
+        // Compute all sends of this step from a snapshot (simultaneous
+        // exchange), then apply.
+        let sends: Vec<(usize, usize, Vec<f64>)> = (0..p)
+            .map(|w| {
+                let chunk_idx = (w + p - step) % p;
+                let range = chunks[chunk_idx].clone();
+                (w, chunk_idx, buffers[w][range].to_vec())
+            })
+            .collect();
+        for (w, chunk_idx, data) in sends {
+            let dest = (w + 1) % p;
+            let range = chunks[chunk_idx].clone();
+            for (d, &x) in buffers[dest][range].iter_mut().zip(data.iter()) {
+                *d += x;
+            }
+        }
+    }
+    // All-gather: worker w now owns the reduced chunk (w + 1) mod p;
+    // circulate the finished chunks.
+    let mut result = vec![0.0; n];
+    for (w, buffer) in buffers.iter().enumerate() {
+        let owned = (w + 1) % p;
+        let range = chunks[owned].clone();
+        result[range.clone()].copy_from_slice(&buffer[range]);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use le_linalg::Rng;
+
+    fn random_inputs(p: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng::new(seed);
+        (0..p)
+            .map(|_| (0..n).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn all_three_agree() {
+        for &(p, n) in &[(1usize, 7usize), (2, 10), (3, 10), (4, 16), (7, 23), (8, 64)] {
+            let inputs = random_inputs(p, n, (p * 31 + n) as u64);
+            let flat = allreduce_flat(&inputs);
+            let tree = allreduce_tree(&inputs);
+            let ring = allreduce_ring(&inputs);
+            for i in 0..n {
+                assert!(
+                    (flat[i] - tree[i]).abs() < 1e-12,
+                    "tree differs at {i} for p={p}, n={n}"
+                );
+                assert!(
+                    (flat[i] - ring[i]).abs() < 1e-12,
+                    "ring differs at {i} for p={p}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_known_sum() {
+        let inputs = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        assert_eq!(allreduce_flat(&inputs), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn single_participant_is_identity() {
+        let inputs = vec![vec![1.5, -2.5, 0.0]];
+        assert_eq!(allreduce_tree(&inputs), inputs[0]);
+        assert_eq!(allreduce_ring(&inputs), inputs[0]);
+    }
+
+    #[test]
+    fn ring_handles_n_smaller_than_p() {
+        // 6 workers, 3-element vector: some chunks are empty.
+        let inputs = random_inputs(6, 3, 99);
+        let flat = allreduce_flat(&inputs);
+        let ring = allreduce_ring(&inputs);
+        for i in 0..3 {
+            assert!((flat[i] - ring[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "allreduce of nothing")]
+    fn empty_inputs_panic() {
+        let _ = allreduce_flat(&[]);
+    }
+}

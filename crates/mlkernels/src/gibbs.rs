@@ -1,0 +1,399 @@
+//! Parallel Gibbs sampling for a 1-D Gaussian mixture — the paper's MCMC
+//! representative. One sweep alternates
+//!
+//! 1. sampling each point's component assignment `z_i` given the component
+//!    parameters (embarrassingly parallel over points), and
+//! 2. re-estimating component means from the sufficient statistics
+//!    (per-component sums/counts), whose *collection* is what the four
+//!    synchronization models coordinate.
+//!
+//! The objective reported per sweep is the negative average log-likelihood.
+
+use parking_lot::Mutex;
+
+use le_linalg::Rng;
+
+use crate::sync::{atomic_vec, partition, snapshot, KernelReport, SyncModel};
+use crate::{KernelError, Result};
+
+/// Gibbs sampler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GibbsConfig {
+    /// Number of mixture components.
+    pub k: usize,
+    /// Known, shared component standard deviation.
+    pub sigma: f64,
+    /// Sweeps.
+    pub sweeps: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            sigma: 0.5,
+            sweeps: 40,
+            threads: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Negative average log-likelihood of `data` under an equal-weight Gaussian
+/// mixture with the given means and shared `sigma`.
+pub fn neg_log_likelihood(data: &[f64], means: &[f64], sigma: f64) -> f64 {
+    let norm = 1.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+    let weight = 1.0 / means.len() as f64;
+    let mut total = 0.0;
+    for &x in data {
+        let mut p = 0.0;
+        for &m in means {
+            let z = (x - m) / sigma;
+            p += weight * norm * (-0.5 * z * z).exp();
+        }
+        total += -(p.max(1e-300)).ln();
+    }
+    total / data.len().max(1) as f64
+}
+
+/// Sample an assignment for one point given the current means.
+#[inline]
+fn sample_assignment(x: f64, means: &[f64], sigma: f64, rng: &mut Rng) -> usize {
+    let mut weights = Vec::with_capacity(means.len());
+    let mut max_log = f64::NEG_INFINITY;
+    let logs: Vec<f64> = means
+        .iter()
+        .map(|&m| {
+            let z = (x - m) / sigma;
+            let l = -0.5 * z * z;
+            if l > max_log {
+                max_log = l;
+            }
+            l
+        })
+        .collect();
+    for &l in &logs {
+        weights.push((l - max_log).exp());
+    }
+    rng.categorical(&weights)
+}
+
+/// Run the parallel Gibbs sampler; returns the final component means
+/// (sorted ascending) and the report.
+pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f64>, KernelReport)> {
+    if data.is_empty() {
+        return Err(KernelError::Shape("empty dataset".into()));
+    }
+    if cfg.k == 0 || cfg.k > data.len() || cfg.threads == 0 || cfg.sweeps == 0 || cfg.sigma <= 0.0 {
+        return Err(KernelError::InvalidConfig(format!(
+            "k={}, threads={}, sweeps={}, sigma={}",
+            cfg.k, cfg.threads, cfg.sweeps, cfg.sigma
+        )));
+    }
+    let mut rng = Rng::new(cfg.seed);
+    // Initialize means from random data points.
+    let mut means: Vec<f64> = rng
+        .sample_indices(data.len(), cfg.k)
+        .into_iter()
+        .map(|i| data[i])
+        .collect();
+    let shards = partition(data.len(), cfg.threads);
+    // Pre-split per-worker RNGs per sweep for determinism where possible.
+    let mut history = Vec::with_capacity(cfg.sweeps);
+    let start = std::time::Instant::now();
+
+    for sweep in 0..cfg.sweeps {
+        // Per-worker RNG seeds (deterministic).
+        let worker_seeds: Vec<u64> = (0..cfg.threads)
+            .map(|t| cfg.seed ^ ((sweep as u64) << 24) ^ ((t as u64) << 8) ^ 0xBEEF)
+            .collect();
+        let (sums, counts) = match model {
+            SyncModel::Locking => {
+                let acc = Mutex::new((vec![0.0; cfg.k], vec![0.0; cfg.k]));
+                std::thread::scope(|s| {
+                    for (t, shard) in shards.iter().enumerate() {
+                        let acc = &acc;
+                        let means = &means;
+                        let shard = shard.clone();
+                        let seed = worker_seeds[t];
+                        s.spawn(move || {
+                            let mut rng = Rng::new(seed);
+                            for i in shard {
+                                let z = sample_assignment(data[i], means, cfg.sigma, &mut rng);
+                                let mut guard = acc.lock();
+                                guard.0[z] += data[i];
+                                guard.1[z] += 1.0;
+                            }
+                        });
+                    }
+                });
+                acc.into_inner()
+            }
+            SyncModel::Asynchronous => {
+                let sums = atomic_vec(&vec![0.0; cfg.k]);
+                let counts = atomic_vec(&vec![0.0; cfg.k]);
+                std::thread::scope(|s| {
+                    for (t, shard) in shards.iter().enumerate() {
+                        let sums = &sums;
+                        let counts = &counts;
+                        let means = &means;
+                        let shard = shard.clone();
+                        let seed = worker_seeds[t];
+                        s.spawn(move || {
+                            let mut rng = Rng::new(seed);
+                            for i in shard {
+                                let z = sample_assignment(data[i], means, cfg.sigma, &mut rng);
+                                sums[z].fetch_add(data[i]);
+                                counts[z].fetch_add(1.0);
+                            }
+                        });
+                    }
+                });
+                (snapshot(&sums), snapshot(&counts))
+            }
+            SyncModel::Allreduce => {
+                let partials = Mutex::new(Vec::with_capacity(cfg.threads));
+                std::thread::scope(|s| {
+                    for (t, shard) in shards.iter().enumerate() {
+                        let partials = &partials;
+                        let means = &means;
+                        let shard = shard.clone();
+                        let seed = worker_seeds[t];
+                        s.spawn(move || {
+                            let mut rng = Rng::new(seed);
+                            let mut sums = vec![0.0; cfg.k];
+                            let mut counts = vec![0.0; cfg.k];
+                            for i in shard {
+                                let z = sample_assignment(data[i], means, cfg.sigma, &mut rng);
+                                sums[z] += data[i];
+                                counts[z] += 1.0;
+                            }
+                            partials.lock().push((sums, counts));
+                        });
+                    }
+                });
+                let mut sums = vec![0.0; cfg.k];
+                let mut counts = vec![0.0; cfg.k];
+                for (ps, pc) in partials.into_inner() {
+                    for (a, &b) in sums.iter_mut().zip(ps.iter()) {
+                        *a += b;
+                    }
+                    for (a, &b) in counts.iter_mut().zip(pc.iter()) {
+                        *a += b;
+                    }
+                }
+                (sums, counts)
+            }
+            SyncModel::Rotation => {
+                // Component shards rotate; each worker owns a component
+                // range per sub-step and folds its buffered statistics in.
+                let comp_shards = partition(cfg.k, cfg.threads);
+                let shard_stats: Vec<Mutex<(Vec<f64>, Vec<f64>)>> = comp_shards
+                    .iter()
+                    .map(|cs| Mutex::new((vec![0.0; cs.len()], vec![0.0; cs.len()])))
+                    .collect();
+                let barrier = std::sync::Barrier::new(cfg.threads);
+                std::thread::scope(|s| {
+                    for (t, shard) in shards.iter().enumerate() {
+                        let shard_stats = &shard_stats;
+                        let comp_shards = &comp_shards;
+                        let barrier = &barrier;
+                        let means = &means;
+                        let shard = shard.clone();
+                        let seed = worker_seeds[t];
+                        s.spawn(move || {
+                            let mut rng = Rng::new(seed);
+                            let mut sums = vec![0.0; cfg.k];
+                            let mut counts = vec![0.0; cfg.k];
+                            for i in shard {
+                                let z = sample_assignment(data[i], means, cfg.sigma, &mut rng);
+                                sums[z] += data[i];
+                                counts[z] += 1.0;
+                            }
+                            for step in 0..cfg.threads {
+                                let b = (t + step) % cfg.threads;
+                                {
+                                    let mut guard = shard_stats[b].lock();
+                                    let (gs, gc) = &mut *guard;
+                                    for (local, c) in comp_shards[b].clone().enumerate() {
+                                        gs[local] += sums[c];
+                                        gc[local] += counts[c];
+                                    }
+                                }
+                                barrier.wait();
+                            }
+                        });
+                    }
+                });
+                let mut sums = vec![0.0; cfg.k];
+                let mut counts = vec![0.0; cfg.k];
+                for (cs, stats) in comp_shards.iter().zip(shard_stats.iter()) {
+                    let guard = stats.lock();
+                    for (local, c) in cs.clone().enumerate() {
+                        sums[c] = guard.0[local];
+                        counts[c] = guard.1[local];
+                    }
+                }
+                (sums, counts)
+            }
+        };
+        // Parameter step: posterior mean with a weak prior at the data mean.
+        let data_mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        for c in 0..cfg.k {
+            let prior_weight = 0.1;
+            means[c] =
+                (sums[c] + prior_weight * data_mean) / (counts[c] + prior_weight);
+        }
+        history.push(neg_log_likelihood(data, &means, cfg.sigma));
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    Ok((
+        means,
+        KernelReport {
+            model,
+            threads: cfg.threads,
+            objective: history,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+    ))
+}
+
+/// Generate a 1-D mixture dataset from the given means.
+pub fn synthetic_mixture(n_per_component: usize, means: &[f64], sigma: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::new(seed);
+    let mut data = Vec::with_capacity(n_per_component * means.len());
+    for &m in means {
+        for _ in 0..n_per_component {
+            data.push(m + sigma * rng.gaussian());
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixture_data() -> (Vec<f64>, Vec<f64>) {
+        let true_means = vec![-4.0, 0.0, 4.0];
+        let data = synthetic_mixture(300, &true_means, 0.5, 5);
+        (data, true_means)
+    }
+
+    #[test]
+    fn validation() {
+        let (data, _) = mixture_data();
+        let cfg = GibbsConfig::default();
+        assert!(train(&[], SyncModel::Locking, &cfg).is_err());
+        assert!(train(&data, SyncModel::Locking, &GibbsConfig { k: 0, ..cfg }).is_err());
+        assert!(train(
+            &data,
+            SyncModel::Locking,
+            &GibbsConfig {
+                sigma: 0.0,
+                ..cfg
+            }
+        )
+        .is_err());
+        assert!(train(
+            &data,
+            SyncModel::Locking,
+            &GibbsConfig {
+                threads: 0,
+                ..cfg
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn all_models_recover_the_means() {
+        let (data, true_means) = mixture_data();
+        for model in SyncModel::ALL {
+            let (means, report) = train(
+                &data,
+                model,
+                &GibbsConfig {
+                    k: 3,
+                    sigma: 0.5,
+                    sweeps: 50,
+                    threads: 4,
+                    seed: 17,
+                },
+            )
+            .unwrap();
+            for (got, want) in means.iter().zip(true_means.iter()) {
+                assert!(
+                    (got - want).abs() < 0.3,
+                    "{}: mean {got} should be near {want}",
+                    model.name()
+                );
+            }
+            // NLL should be near the true-model NLL.
+            let true_nll = neg_log_likelihood(&data, &true_means, 0.5);
+            assert!(
+                report.final_objective() < true_nll + 0.2,
+                "{}: NLL {} vs true {true_nll}",
+                model.name(),
+                report.final_objective()
+            );
+        }
+    }
+
+    #[test]
+    fn nll_decreases_from_start() {
+        let (data, _) = mixture_data();
+        let (_, report) = train(
+            &data,
+            SyncModel::Allreduce,
+            &GibbsConfig {
+                k: 3,
+                sigma: 0.5,
+                sweeps: 40,
+                threads: 2,
+                seed: 23,
+            },
+        )
+        .unwrap();
+        assert!(
+            report.final_objective() < report.objective[0],
+            "sampler should improve: {:?}",
+            (report.objective[0], report.final_objective())
+        );
+    }
+
+    #[test]
+    fn neg_log_likelihood_sane() {
+        // Data exactly at a mean has higher likelihood than far away.
+        let close = neg_log_likelihood(&[0.0], &[0.0], 1.0);
+        let far = neg_log_likelihood(&[5.0], &[0.0], 1.0);
+        assert!(close < far);
+        // Two-component mixture catches both blobs.
+        let data = [-3.0, 3.0];
+        let one = neg_log_likelihood(&data, &[0.0], 1.0);
+        let two = neg_log_likelihood(&data, &[-3.0, 3.0], 1.0);
+        assert!(two < one);
+    }
+
+    #[test]
+    fn means_returned_sorted() {
+        let (data, _) = mixture_data();
+        let (means, _) = train(
+            &data,
+            SyncModel::Locking,
+            &GibbsConfig {
+                k: 3,
+                sigma: 0.5,
+                sweeps: 30,
+                threads: 3,
+                seed: 29,
+            },
+        )
+        .unwrap();
+        assert!(means.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,486 @@
+//! Parallel K-means (Lloyd's algorithm) under the four synchronization
+//! models. The model is the centroid set; the coordination patterns differ
+//! in how per-shard sufficient statistics (cluster sums and counts) reach
+//! the centroids:
+//!
+//! * **Locking** — shared accumulators behind one mutex.
+//! * **Rotation** — centroid shards rotate through workers; each worker
+//!   folds its locally-buffered statistics into the shard it owns.
+//! * **Allreduce** — per-worker accumulators, barrier, reduce on the main
+//!   thread (classic MPI k-means).
+//! * **Asynchronous** — atomic accumulation into shared statistics.
+//!
+//! The objective is inertia (mean squared distance to the assigned
+//! centroid); every model performs *exact* Lloyd iterations here, so all
+//! four converge to the same local optimum given the same initialization —
+//! which the tests check. They differ in synchronization cost, which the
+//! E7 bench measures.
+
+use parking_lot::Mutex;
+
+use le_linalg::Rng;
+
+use crate::sync::{atomic_vec, partition, snapshot, KernelReport, SyncModel};
+use crate::{KernelError, Result};
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KmeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            iterations: 20,
+            threads: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Mean squared distance of every point to its nearest centroid.
+pub fn inertia(data: &[Vec<f64>], centroids: &[Vec<f64>]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter()
+        .map(|p| nearest(p, centroids).1)
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[inline]
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = dist2(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ style initialization (distance-weighted seeding).
+fn init_centroids(data: &[Vec<f64>], k: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data[rng.below(data.len())].clone());
+    while centroids.len() < k {
+        let weights: Vec<f64> = data.iter().map(|p| nearest(p, &centroids).1).collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with centroids; duplicate one.
+            centroids.push(centroids[0].clone());
+            continue;
+        }
+        let idx = rng.categorical(&weights);
+        centroids.push(data[idx].clone());
+    }
+    centroids
+}
+
+/// Per-iteration sufficient statistics: per-cluster coordinate sums and
+/// counts, flattened as `k * d + k` values.
+fn fold_stats(sums: &mut [f64], counts: &mut [f64], p: &[f64], cluster: usize) {
+    let d = p.len();
+    for (s, &v) in sums[cluster * d..(cluster + 1) * d].iter_mut().zip(p.iter()) {
+        *s += v;
+    }
+    counts[cluster] += 1.0;
+}
+
+fn apply_stats(centroids: &mut [Vec<f64>], sums: &[f64], counts: &[f64]) {
+    let d = centroids[0].len();
+    for (c, centroid) in centroids.iter_mut().enumerate() {
+        if counts[c] > 0.0 {
+            for (j, v) in centroid.iter_mut().enumerate() {
+                *v = sums[c * d + j] / counts[c];
+            }
+        }
+        // Empty cluster: keep the old centroid.
+    }
+}
+
+/// Run parallel k-means; returns final centroids and the report.
+pub fn train(
+    data: &[Vec<f64>],
+    model: SyncModel,
+    cfg: &KmeansConfig,
+) -> Result<(Vec<Vec<f64>>, KernelReport)> {
+    if data.is_empty() {
+        return Err(KernelError::Shape("empty dataset".into()));
+    }
+    let d = data[0].len();
+    if data.iter().any(|p| p.len() != d) {
+        return Err(KernelError::Shape("ragged rows".into()));
+    }
+    if cfg.k == 0 || cfg.k > data.len() || cfg.threads == 0 || cfg.iterations == 0 {
+        return Err(KernelError::InvalidConfig(format!(
+            "k={}, threads={}, iterations={} invalid for {} points",
+            cfg.k,
+            cfg.threads,
+            cfg.iterations,
+            data.len()
+        )));
+    }
+    let mut rng = Rng::new(cfg.seed);
+    let mut centroids = init_centroids(data, cfg.k, &mut rng);
+    let shards = partition(data.len(), cfg.threads);
+    let mut history = Vec::with_capacity(cfg.iterations);
+    let start = std::time::Instant::now();
+
+    for _iter in 0..cfg.iterations {
+        let (sums, counts) = match model {
+            SyncModel::Locking => {
+                let acc = Mutex::new((vec![0.0; cfg.k * d], vec![0.0; cfg.k]));
+                std::thread::scope(|s| {
+                    for shard in &shards {
+                        let acc = &acc;
+                        let centroids = &centroids;
+                        let shard = shard.clone();
+                        s.spawn(move || {
+                            for i in shard {
+                                let (c, _) = nearest(&data[i], centroids);
+                                let mut guard = acc.lock();
+                                let (sums, counts) = &mut *guard;
+                                fold_stats(sums, counts, &data[i], c);
+                            }
+                        });
+                    }
+                });
+                acc.into_inner()
+            }
+            SyncModel::Asynchronous => {
+                let sums = atomic_vec(&vec![0.0; cfg.k * d]);
+                let counts = atomic_vec(&vec![0.0; cfg.k]);
+                std::thread::scope(|s| {
+                    for shard in &shards {
+                        let sums = &sums;
+                        let counts = &counts;
+                        let centroids = &centroids;
+                        let shard = shard.clone();
+                        s.spawn(move || {
+                            for i in shard {
+                                let (c, _) = nearest(&data[i], centroids);
+                                for (j, &v) in data[i].iter().enumerate() {
+                                    sums[c * d + j].fetch_add(v);
+                                }
+                                counts[c].fetch_add(1.0);
+                            }
+                        });
+                    }
+                });
+                (snapshot(&sums), snapshot(&counts))
+            }
+            SyncModel::Allreduce => {
+                let partials = Mutex::new(Vec::with_capacity(cfg.threads));
+                std::thread::scope(|s| {
+                    for shard in &shards {
+                        let partials = &partials;
+                        let centroids = &centroids;
+                        let shard = shard.clone();
+                        s.spawn(move || {
+                            let mut sums = vec![0.0; cfg.k * d];
+                            let mut counts = vec![0.0; cfg.k];
+                            for i in shard {
+                                let (c, _) = nearest(&data[i], centroids);
+                                fold_stats(&mut sums, &mut counts, &data[i], c);
+                            }
+                            partials.lock().push((sums, counts));
+                        });
+                    }
+                });
+                // Reduce.
+                let mut sums = vec![0.0; cfg.k * d];
+                let mut counts = vec![0.0; cfg.k];
+                for (ps, pc) in partials.into_inner() {
+                    for (a, &b) in sums.iter_mut().zip(ps.iter()) {
+                        *a += b;
+                    }
+                    for (a, &b) in counts.iter_mut().zip(pc.iter()) {
+                        *a += b;
+                    }
+                }
+                (sums, counts)
+            }
+            SyncModel::Rotation => {
+                // Centroid shards rotate; each worker buffers statistics for
+                // every cluster locally, then folds into the shard it owns
+                // during each rotation sub-step.
+                let cluster_shards = partition(cfg.k, cfg.threads);
+                let shard_stats: Vec<Mutex<(Vec<f64>, Vec<f64>)>> = cluster_shards
+                    .iter()
+                    .map(|cs| Mutex::new((vec![0.0; cs.len() * d], vec![0.0; cs.len()])))
+                    .collect();
+                let barrier = std::sync::Barrier::new(cfg.threads);
+                std::thread::scope(|s| {
+                    for (t, shard) in shards.iter().enumerate() {
+                        let shard_stats = &shard_stats;
+                        let cluster_shards = &cluster_shards;
+                        let barrier = &barrier;
+                        let centroids = &centroids;
+                        let shard = shard.clone();
+                        s.spawn(move || {
+                            // Local buffering of full statistics.
+                            let mut sums = vec![0.0; cfg.k * d];
+                            let mut counts = vec![0.0; cfg.k];
+                            for i in shard {
+                                let (c, _) = nearest(&data[i], centroids);
+                                fold_stats(&mut sums, &mut counts, &data[i], c);
+                            }
+                            // Rotate: fold local stats into each cluster
+                            // shard while holding it exclusively.
+                            for step in 0..cfg.threads {
+                                let b = (t + step) % cfg.threads;
+                                let cs = cluster_shards[b].clone();
+                                {
+                                    let mut guard = shard_stats[b].lock();
+                                    let (gs, gc) = &mut *guard;
+                                    for (local_c, c) in cs.clone().enumerate() {
+                                        for j in 0..d {
+                                            gs[local_c * d + j] += sums[c * d + j];
+                                        }
+                                        gc[local_c] += counts[c];
+                                    }
+                                }
+                                barrier.wait();
+                            }
+                        });
+                    }
+                });
+                // Assemble global statistics from the shards.
+                let mut sums = vec![0.0; cfg.k * d];
+                let mut counts = vec![0.0; cfg.k];
+                for (cs, stats) in cluster_shards.iter().zip(shard_stats.iter()) {
+                    let guard = stats.lock();
+                    let (gs, gc) = &*guard;
+                    for (local_c, c) in cs.clone().enumerate() {
+                        for j in 0..d {
+                            sums[c * d + j] = gs[local_c * d + j];
+                        }
+                        counts[c] = gc[local_c];
+                    }
+                }
+                (sums, counts)
+            }
+        };
+        apply_stats(&mut centroids, &sums, &counts);
+        history.push(inertia(data, &centroids));
+    }
+    Ok((
+        centroids,
+        KernelReport {
+            model,
+            threads: cfg.threads,
+            objective: history,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+    ))
+}
+
+/// Generate a Gaussian-blob clustering dataset and its true centers.
+pub fn synthetic_blobs(
+    n_per_cluster: usize,
+    centers: &[Vec<f64>],
+    spread: f64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let mut rng = Rng::new(seed);
+    let mut data = Vec::with_capacity(n_per_cluster * centers.len());
+    for center in centers {
+        for _ in 0..n_per_cluster {
+            data.push(
+                center
+                    .iter()
+                    .map(|&c| c + spread * rng.gaussian())
+                    .collect(),
+            );
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let centers = vec![
+            vec![0.0, 0.0],
+            vec![5.0, 5.0],
+            vec![-5.0, 5.0],
+            vec![5.0, -5.0],
+        ];
+        let data = synthetic_blobs(100, &centers, 0.4, 3);
+        (data, centers)
+    }
+
+    #[test]
+    fn validation() {
+        let (data, _) = blob_data();
+        let cfg = KmeansConfig::default();
+        assert!(train(&[], SyncModel::Locking, &cfg).is_err());
+        assert!(train(
+            &data,
+            SyncModel::Locking,
+            &KmeansConfig { k: 0, ..cfg }
+        )
+        .is_err());
+        assert!(train(
+            &data,
+            SyncModel::Locking,
+            &KmeansConfig {
+                k: 10_000,
+                ..cfg
+            }
+        )
+        .is_err());
+        assert!(train(
+            &data,
+            SyncModel::Locking,
+            &KmeansConfig {
+                threads: 0,
+                ..cfg
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn all_models_find_the_blobs() {
+        let (data, centers) = blob_data();
+        for model in SyncModel::ALL {
+            let (found, report) = train(
+                &data,
+                model,
+                &KmeansConfig {
+                    k: 4,
+                    iterations: 15,
+                    threads: 4,
+                    seed: 9,
+                },
+            )
+            .unwrap();
+            // Every true center has a found centroid nearby.
+            for center in &centers {
+                let (_, d2) = nearest(center, &found);
+                assert!(
+                    d2 < 0.5,
+                    "{}: no centroid near {center:?} (d²={d2})",
+                    model.name()
+                );
+            }
+            // Inertia ≈ spread² × dim.
+            assert!(
+                report.final_objective() < 0.6,
+                "{}: inertia {}",
+                model.name(),
+                report.final_objective()
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_agree_exactly_on_same_init() {
+        // All four coordinate the SAME Lloyd iteration; with identical
+        // initialization they must produce identical centroids (floating-
+        // point association differences aside, which exact addition of the
+        // same values in different orders can introduce — allow 1e-9).
+        let (data, _) = blob_data();
+        let cfg = KmeansConfig {
+            k: 4,
+            iterations: 10,
+            threads: 4,
+            seed: 21,
+        };
+        let (ref_centroids, _) = train(&data, SyncModel::Allreduce, &cfg).unwrap();
+        for model in [SyncModel::Locking, SyncModel::Rotation, SyncModel::Asynchronous] {
+            let (c, _) = train(&data, model, &cfg).unwrap();
+            for (a, b) in c.iter().zip(ref_centroids.iter()) {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert!(
+                        (x - y).abs() < 1e-6,
+                        "{} centroid deviates: {x} vs {y}",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_monotonically() {
+        let (data, _) = blob_data();
+        let (_, report) = train(
+            &data,
+            SyncModel::Allreduce,
+            &KmeansConfig {
+                k: 4,
+                iterations: 12,
+                threads: 2,
+                seed: 33,
+            },
+        )
+        .unwrap();
+        for w in report.objective.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "Lloyd iterations cannot increase inertia: {:?}",
+                report.objective
+            );
+        }
+    }
+
+    #[test]
+    fn single_cluster_is_the_mean() {
+        let data = vec![vec![1.0, 1.0], vec![3.0, 5.0], vec![5.0, 3.0]];
+        let (centroids, _) = train(
+            &data,
+            SyncModel::Allreduce,
+            &KmeansConfig {
+                k: 1,
+                iterations: 3,
+                threads: 2,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!((centroids[0][0] - 3.0).abs() < 1e-9);
+        assert!((centroids[0][1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_threads_than_points_is_fine() {
+        let data = vec![vec![0.0], vec![10.0]];
+        let (centroids, _) = train(
+            &data,
+            SyncModel::Rotation,
+            &KmeansConfig {
+                k: 2,
+                iterations: 3,
+                threads: 8,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let mut xs: Vec<f64> = centroids.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(xs, vec![0.0, 10.0]);
+    }
+}

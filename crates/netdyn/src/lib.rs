@@ -1,0 +1,69 @@
+// Indexed loops over small fixed dimensions (k in 0..3, stencils) are the
+// clearer idiom in numeric kernels; silence the pedantic lint crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+//! `le-netdyn` — network dynamical systems (§II-A of the paper).
+//!
+//! "A network dynamical system is composed of a network where nodes of the
+//! network are agents ... and the edges capture the interactions between
+//! them. A popular example of such systems is the SEIR model of disease
+//! spread in a social network."
+//!
+//! This crate builds everything the DEFSI experiment (E4) needs:
+//!
+//! * [`graph`] — a compact CSR undirected graph with random-graph builders.
+//! * [`population`] — a two-level synthetic population: one "state" made of
+//!   several "counties", wired as a stochastic block model (dense contacts
+//!   within a county, sparse between).
+//! * [`seir`] — discrete-time stochastic SEIR dynamics on the network,
+//!   reporting daily per-county incidence.
+//! * [`surveillance`] — degrades ground truth the way real CDC data is
+//!   degraded: weekly aggregation, state-level only, under-reporting,
+//!   noise (the "low resolution, not real time, incomplete, noisy" list).
+//! * [`epifast`] — an EpiFast-style baseline: calibrate transmissibility
+//!   against observed state-level incidence by simulation search, forecast
+//!   by running the calibrated model forward.
+//! * [`defsi`] — the DEFSI method (paper ref \[19\]): a two-branch neural
+//!   network trained on *simulation-generated synthetic data* that maps
+//!   coarse state-level observations to high-resolution county-level
+//!   forecasts.
+//! * [`baselines`] — naive persistence, AR(2) regression, and a pure-data
+//!   MLP trained only on observed seasons.
+
+pub mod baselines;
+pub mod defsi;
+pub mod epifast;
+pub mod graph;
+pub mod population;
+pub mod seir;
+pub mod surveillance;
+
+pub use graph::Graph;
+pub use population::{Population, PopulationConfig};
+pub use seir::{SeirConfig, SeirOutcome};
+
+/// Errors from the network-dynamics crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// Invalid configuration.
+    InvalidConfig(String),
+    /// Not enough data for the requested operation.
+    InsufficientData(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::InvalidConfig(s) => write!(f, "invalid config: {s}"),
+            NetError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
+            NetError::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,403 @@
+//! Discrete-time stochastic SEIR dynamics on a contact network
+//! (paper ref \[18\]: Newman, "Spread of epidemic disease on networks").
+//!
+//! Each day, every susceptible contact of an infectious person becomes
+//! exposed independently with probability `transmissibility`; exposed and
+//! infectious durations are geometric with the configured means. The
+//! simulator reports *daily incidence* (new infections) per county — the
+//! "high-resolution detail" that DEFSI learns and that coarse surveillance
+//! cannot see.
+
+use le_linalg::Rng;
+
+use crate::population::Population;
+use crate::{NetError, Result};
+
+/// Per-node disease state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Susceptible,
+    Exposed,
+    Infectious,
+    Recovered,
+}
+
+/// SEIR model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SeirConfig {
+    /// Per-contact per-day transmission probability.
+    pub transmissibility: f64,
+    /// Mean incubation (E) duration in days.
+    pub mean_incubation: f64,
+    /// Mean infectious (I) duration in days.
+    pub mean_infectious: f64,
+    /// Number of initial seed infections (placed uniformly at random).
+    pub initial_infections: usize,
+    /// Days to simulate.
+    pub days: usize,
+}
+
+impl Default for SeirConfig {
+    fn default() -> Self {
+        Self {
+            transmissibility: 0.05,
+            mean_incubation: 2.0,
+            mean_infectious: 4.0,
+            initial_infections: 5,
+            days: 120,
+        }
+    }
+}
+
+impl SeirConfig {
+    fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.transmissibility) {
+            return Err(NetError::InvalidConfig(format!(
+                "transmissibility {} not in [0,1]",
+                self.transmissibility
+            )));
+        }
+        if self.mean_incubation < 1.0 || self.mean_infectious < 1.0 {
+            return Err(NetError::InvalidConfig(
+                "mean durations must be at least 1 day".into(),
+            ));
+        }
+        if self.initial_infections == 0 {
+            return Err(NetError::InvalidConfig("need at least one seed".into()));
+        }
+        if self.days == 0 {
+            return Err(NetError::InvalidConfig("days must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The result of one epidemic realization.
+#[derive(Debug, Clone)]
+pub struct SeirOutcome {
+    /// `incidence[c][t]` = new infections in county `c` on day `t`.
+    pub incidence: Vec<Vec<f64>>,
+    /// Total attack rate (fraction of the population ever infected).
+    pub attack_rate: f64,
+    /// Day of state-wide peak incidence.
+    pub peak_day: usize,
+}
+
+impl SeirOutcome {
+    /// State-level daily incidence (sum over counties).
+    pub fn state_incidence(&self) -> Vec<f64> {
+        if self.incidence.is_empty() {
+            return Vec::new();
+        }
+        let days = self.incidence[0].len();
+        (0..days)
+            .map(|t| self.incidence.iter().map(|c| c[t]).sum())
+            .collect()
+    }
+
+    /// Aggregate daily series into weekly totals (CDC-style reporting).
+    pub fn weekly(series: &[f64]) -> Vec<f64> {
+        series.chunks(7).map(|w| w.iter().sum()).collect()
+    }
+}
+
+/// Run one stochastic SEIR realization on `pop`.
+pub fn simulate(pop: &Population, config: &SeirConfig, seed: u64) -> Result<SeirOutcome> {
+    config.validate()?;
+    let n = pop.size();
+    if config.initial_infections > n {
+        return Err(NetError::InvalidConfig(format!(
+            "{} seeds exceed population {n}",
+            config.initial_infections
+        )));
+    }
+    let mut rng = Rng::new(seed);
+    let mut state = vec![State::Susceptible; n];
+    // Geometric daily exit probabilities matching the mean durations.
+    let p_ei = 1.0 / config.mean_incubation;
+    let p_ir = 1.0 / config.mean_infectious;
+
+    let mut incidence = vec![vec![0.0; config.days]; pop.n_counties];
+    // Seed infectious individuals.
+    for &i in rng.sample_indices(n, config.initial_infections).iter() {
+        state[i] = State::Infectious;
+    }
+    let mut ever_infected = config.initial_infections;
+
+    let mut infectious: Vec<u32> = state
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s == State::Infectious)
+        .map(|(i, _)| i as u32)
+        .collect();
+
+    for day in 0..config.days {
+        // Transmission: each infectious node exposes susceptible neighbors.
+        let mut newly_exposed: Vec<u32> = Vec::new();
+        for &i in &infectious {
+            for &j in pop.contacts.neighbors(i as usize) {
+                if state[j as usize] == State::Susceptible
+                    && rng.bernoulli(config.transmissibility)
+                {
+                    state[j as usize] = State::Exposed;
+                    newly_exposed.push(j);
+                }
+            }
+        }
+        // Record incidence at exposure time (infection event).
+        for &j in &newly_exposed {
+            incidence[pop.county[j as usize] as usize][day] += 1.0;
+            ever_infected += 1;
+        }
+        // Progression E -> I and I -> R.
+        let mut next_infectious = Vec::with_capacity(infectious.len());
+        for &i in &infectious {
+            if rng.bernoulli(p_ir) {
+                state[i as usize] = State::Recovered;
+            } else {
+                next_infectious.push(i);
+            }
+        }
+        for i in 0..n {
+            if state[i] == State::Exposed && rng.bernoulli(p_ei) {
+                state[i] = State::Infectious;
+                next_infectious.push(i as u32);
+            }
+        }
+        infectious = next_infectious;
+        if infectious.is_empty() && !state.contains(&State::Exposed) {
+            break; // epidemic died out
+        }
+    }
+    let state_series: Vec<f64> = (0..config.days)
+        .map(|t| incidence.iter().map(|c| c[t]).sum())
+        .collect();
+    let peak_day = state_series
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite incidence"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(SeirOutcome {
+        incidence,
+        attack_rate: ever_infected as f64 / n as f64,
+        peak_day,
+    })
+}
+
+/// Run `n_replicates` realizations (different seeds) and average the
+/// per-county incidence curves. Stochastic VT-style models "require many
+/// replicas" (§II-B) — this is that ensemble.
+pub fn simulate_ensemble(
+    pop: &Population,
+    config: &SeirConfig,
+    n_replicates: usize,
+    seed: u64,
+) -> Result<SeirOutcome> {
+    if n_replicates == 0 {
+        return Err(NetError::InvalidConfig("need at least one replicate".into()));
+    }
+    use rayon::prelude::*;
+    let outcomes: Result<Vec<SeirOutcome>> = (0..n_replicates)
+        .into_par_iter()
+        .map(|r| simulate(pop, config, seed.wrapping_add(r as u64).wrapping_mul(0x1234_5677)))
+        .collect();
+    let outcomes = outcomes?;
+    let mut incidence = vec![vec![0.0; config.days]; pop.n_counties];
+    let mut attack = 0.0;
+    for o in &outcomes {
+        for (c, series) in o.incidence.iter().enumerate() {
+            for (t, &v) in series.iter().enumerate() {
+                incidence[c][t] += v;
+            }
+        }
+        attack += o.attack_rate;
+    }
+    let k = n_replicates as f64;
+    for series in &mut incidence {
+        for v in series.iter_mut() {
+            *v /= k;
+        }
+    }
+    let state_series: Vec<f64> = (0..config.days)
+        .map(|t| incidence.iter().map(|c| c[t]).sum())
+        .collect();
+    let peak_day = state_series
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(SeirOutcome {
+        incidence,
+        attack_rate: attack / k,
+        peak_day,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+
+    fn test_pop(seed: u64) -> Population {
+        Population::generate(
+            &PopulationConfig {
+                county_sizes: vec![400; 4],
+                mean_degree_within: 8.0,
+                mean_degree_across: 1.0,
+            },
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let pop = test_pop(1);
+        let bad_t = SeirConfig {
+            transmissibility: 1.5,
+            ..Default::default()
+        };
+        assert!(simulate(&pop, &bad_t, 1).is_err());
+        let bad_seeds = SeirConfig {
+            initial_infections: 0,
+            ..Default::default()
+        };
+        assert!(simulate(&pop, &bad_seeds, 1).is_err());
+        let too_many = SeirConfig {
+            initial_infections: 10_000,
+            ..Default::default()
+        };
+        assert!(simulate(&pop, &too_many, 1).is_err());
+        let bad_dur = SeirConfig {
+            mean_infectious: 0.5,
+            ..Default::default()
+        };
+        assert!(simulate(&pop, &bad_dur, 1).is_err());
+    }
+
+    #[test]
+    fn epidemic_spreads_at_high_transmissibility() {
+        let pop = test_pop(2);
+        let cfg = SeirConfig {
+            transmissibility: 0.15,
+            ..Default::default()
+        };
+        let out = simulate(&pop, &cfg, 3).unwrap();
+        assert!(
+            out.attack_rate > 0.5,
+            "high transmissibility should infect most, got {}",
+            out.attack_rate
+        );
+        // Incidence curve rises then falls: the peak is not at day 0 or end.
+        assert!(out.peak_day > 0 && out.peak_day < cfg.days - 1);
+    }
+
+    #[test]
+    fn epidemic_dies_out_at_zero_transmissibility() {
+        let pop = test_pop(4);
+        let cfg = SeirConfig {
+            transmissibility: 0.0,
+            initial_infections: 5,
+            ..Default::default()
+        };
+        let out = simulate(&pop, &cfg, 5).unwrap();
+        // Only seeds got infected.
+        assert!((out.attack_rate - 5.0 / 1600.0).abs() < 1e-12);
+        assert!(out.state_incidence().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn attack_rate_monotone_in_transmissibility() {
+        let pop = test_pop(6);
+        let attack_at = |t: f64| {
+            let cfg = SeirConfig {
+                transmissibility: t,
+                ..Default::default()
+            };
+            simulate_ensemble(&pop, &cfg, 5, 7).unwrap().attack_rate
+        };
+        let low = attack_at(0.01);
+        let mid = attack_at(0.05);
+        let high = attack_at(0.2);
+        assert!(low < mid && mid < high, "attack rates {low}, {mid}, {high}");
+    }
+
+    #[test]
+    fn incidence_sums_match_attack_rate() {
+        let pop = test_pop(8);
+        let cfg = SeirConfig {
+            transmissibility: 0.1,
+            ..Default::default()
+        };
+        let out = simulate(&pop, &cfg, 9).unwrap();
+        let total_incidence: f64 = out.state_incidence().iter().sum();
+        // attack_rate includes the seeds, which have no incidence record.
+        let expected = out.attack_rate * pop.size() as f64 - cfg.initial_infections as f64;
+        assert!(
+            (total_incidence - expected).abs() < 1e-9,
+            "incidence {total_incidence} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn weekly_aggregation() {
+        let daily: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let weekly = SeirOutcome::weekly(&daily);
+        assert_eq!(weekly.len(), 3);
+        assert_eq!(weekly[0], 21.0);
+        assert_eq!(weekly[1], 70.0);
+        assert_eq!(weekly[2], 14.0); // partial week
+    }
+
+    #[test]
+    fn county_heterogeneity_exists() {
+        // Counties differ in realized incidence (the high-resolution signal
+        // that coarse state data hides).
+        let pop = test_pop(10);
+        let cfg = SeirConfig {
+            transmissibility: 0.08,
+            ..Default::default()
+        };
+        let out = simulate(&pop, &cfg, 11).unwrap();
+        let totals: Vec<f64> = out.incidence.iter().map(|c| c.iter().sum()).collect();
+        let max = totals.iter().fold(0.0f64, |m, &v| m.max(v));
+        let min = totals.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+        assert!(max > min, "counties should differ: {totals:?}");
+    }
+
+    #[test]
+    fn ensemble_is_smoother_than_single_run() {
+        let pop = test_pop(12);
+        let cfg = SeirConfig {
+            transmissibility: 0.08,
+            ..Default::default()
+        };
+        let single = simulate(&pop, &cfg, 13).unwrap();
+        let ens = simulate_ensemble(&pop, &cfg, 10, 13).unwrap();
+        // Roughness = mean |second difference| of the state curve.
+        let rough = |xs: &[f64]| {
+            xs.windows(3)
+                .map(|w| (w[0] - 2.0 * w[1] + w[2]).abs())
+                .sum::<f64>()
+                / xs.len().max(1) as f64
+        };
+        let rs = rough(&single.state_incidence());
+        let re = rough(&ens.state_incidence());
+        assert!(re < rs, "ensemble roughness {re} should be < single {rs}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pop = test_pop(14);
+        let cfg = SeirConfig::default();
+        let a = simulate(&pop, &cfg, 15).unwrap();
+        let b = simulate(&pop, &cfg, 15).unwrap();
+        assert_eq!(a.incidence, b.incidence);
+        // Ensemble determinism across thread schedules.
+        let ea = simulate_ensemble(&pop, &cfg, 4, 16).unwrap();
+        let eb = simulate_ensemble(&pop, &cfg, 4, 16).unwrap();
+        assert_eq!(ea.incidence, eb.incidence);
+    }
+}

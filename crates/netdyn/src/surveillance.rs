@@ -1,0 +1,164 @@
+//! Surveillance degradation: turns ground-truth daily county incidence into
+//! the kind of data agencies actually publish. The paper's list (§II-A):
+//! "of low spatial temporal resolution (weekly at state level), not real
+//! time (at least one week delay), incomplete (reported cases are only a
+//! small fraction of actual ones), and noisy".
+
+use le_linalg::Rng;
+
+use crate::seir::SeirOutcome;
+
+/// Reporting model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Surveillance {
+    /// Fraction of true cases that get reported.
+    pub reporting_fraction: f64,
+    /// Multiplicative log-normal noise scale on weekly counts.
+    pub noise: f64,
+    /// Reporting delay in weeks (leading weeks dropped from view).
+    pub delay_weeks: usize,
+}
+
+impl Default for Surveillance {
+    fn default() -> Self {
+        Self {
+            reporting_fraction: 0.3,
+            noise: 0.1,
+            delay_weeks: 1,
+        }
+    }
+}
+
+impl Surveillance {
+    /// Observe an epidemic: weekly, state-level, under-reported, noisy.
+    /// Returns the series of weekly reported counts visible at the end of
+    /// the season (delay trims the most recent weeks).
+    pub fn observe_state(&self, outcome: &SeirOutcome, seed: u64) -> Vec<f64> {
+        let weekly_true = SeirOutcome::weekly(&outcome.state_incidence());
+        let mut rng = Rng::new(seed);
+        let mut observed: Vec<f64> = weekly_true
+            .iter()
+            .map(|&w| {
+                let reported = w * self.reporting_fraction;
+                // Multiplicative log-normal noise.
+                let factor = (self.noise * rng.gaussian()).exp();
+                (reported * factor).max(0.0)
+            })
+            .collect();
+        // Delay: the most recent `delay_weeks` are not yet visible.
+        let keep = observed.len().saturating_sub(self.delay_weeks);
+        observed.truncate(keep);
+        observed
+    }
+
+    /// The true weekly county-level incidence (what a perfect system would
+    /// see) — used as the forecasting target.
+    pub fn true_weekly_by_county(outcome: &SeirOutcome) -> Vec<Vec<f64>> {
+        outcome
+            .incidence
+            .iter()
+            .map(|daily| SeirOutcome::weekly(daily))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_outcome() -> SeirOutcome {
+        // Two counties, 21 days (3 weeks) of synthetic incidence.
+        let c0: Vec<f64> = (0..21).map(|d| d as f64).collect();
+        let c1: Vec<f64> = (0..21).map(|d| 2.0 * d as f64).collect();
+        SeirOutcome {
+            incidence: vec![c0, c1],
+            attack_rate: 0.1,
+            peak_day: 20,
+        }
+    }
+
+    #[test]
+    fn observation_is_weekly_and_delayed() {
+        let s = Surveillance {
+            reporting_fraction: 1.0,
+            noise: 0.0,
+            delay_weeks: 1,
+        };
+        let obs = s.observe_state(&fake_outcome(), 1);
+        // 3 true weeks minus 1 week delay.
+        assert_eq!(obs.len(), 2);
+        // Week 0 state total: sum of both county daily 0..6 = 21 + 42 = 63.
+        assert!((obs[0] - 63.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_reporting_scales_counts() {
+        let full = Surveillance {
+            reporting_fraction: 1.0,
+            noise: 0.0,
+            delay_weeks: 0,
+        };
+        let half = Surveillance {
+            reporting_fraction: 0.5,
+            noise: 0.0,
+            delay_weeks: 0,
+        };
+        let o_full = full.observe_state(&fake_outcome(), 2);
+        let o_half = half.observe_state(&fake_outcome(), 2);
+        for (f, h) in o_full.iter().zip(o_half.iter()) {
+            assert!((h - 0.5 * f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let s = Surveillance {
+            reporting_fraction: 1.0,
+            noise: 0.2,
+            delay_weeks: 0,
+        };
+        let clean = Surveillance {
+            reporting_fraction: 1.0,
+            noise: 0.0,
+            delay_weeks: 0,
+        };
+        let noisy = s.observe_state(&fake_outcome(), 3);
+        let truth = clean.observe_state(&fake_outcome(), 3);
+        assert_eq!(noisy.len(), truth.len());
+        let mut any_diff = false;
+        for (n, t) in noisy.iter().zip(truth.iter()) {
+            if (n - t).abs() > 1e-9 {
+                any_diff = true;
+            }
+            // Within a factor of e^{4σ}.
+            if *t > 0.0 {
+                assert!(*n / *t < (0.8f64).exp().powi(4) && *n / *t > (-0.8f64).exp());
+            }
+        }
+        assert!(any_diff, "noise must actually perturb");
+    }
+
+    #[test]
+    fn county_truth_preserves_structure() {
+        let weekly = Surveillance::true_weekly_by_county(&fake_outcome());
+        assert_eq!(weekly.len(), 2);
+        assert_eq!(weekly[0].len(), 3);
+        // County 1 doubles county 0 everywhere.
+        for (a, b) in weekly[0].iter().zip(weekly[1].iter()) {
+            assert!((b - 2.0 * a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = Surveillance::default();
+        assert_eq!(
+            s.observe_state(&fake_outcome(), 42),
+            s.observe_state(&fake_outcome(), 42)
+        );
+        assert_ne!(
+            s.observe_state(&fake_outcome(), 42),
+            s.observe_state(&fake_outcome(), 43)
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! Versioned, dependency-free text checkpoint format for [`Mlp`] models and
+//! scalers. Line-oriented:
+//!
+//! ```text
+//! le-nn-checkpoint v1
+//! layers 5 64 64 3
+//! hidden_activation tanh
+//! output_activation identity
+//! dropout 0.2
+//! layer 0 weights <in*out hex-encoded f64 bit patterns, space separated>
+//! layer 0 bias <...>
+//! ...
+//! end
+//! ```
+//!
+//! Weights are stored as hexadecimal `f64` bit patterns so round-trips are
+//! exact (no decimal parsing loss).
+
+use le_linalg::Matrix;
+
+use crate::layer::Activation;
+use crate::model::{Mlp, MlpConfig};
+use crate::scaler::Scaler;
+use crate::{NnError, Result};
+use le_linalg::Rng;
+
+const MAGIC: &str = "le-nn-checkpoint v1";
+
+fn encode_f64s(vals: &[f64]) -> String {
+    let mut s = String::with_capacity(vals.len() * 17);
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&format!("{:016x}", v.to_bits()));
+    }
+    s
+}
+
+fn decode_f64s(s: &str) -> Result<Vec<f64>> {
+    s.split_whitespace()
+        .map(|tok| {
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|e| NnError::Parse(format!("bad f64 token `{tok}`: {e}")))
+        })
+        .collect()
+}
+
+/// Serialize a model to the text checkpoint format.
+pub fn model_to_string(model: &Mlp) -> String {
+    let cfg = model.config();
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str("layers");
+    for w in &cfg.layers {
+        out.push_str(&format!(" {w}"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "hidden_activation {}\n",
+        cfg.hidden_activation.name()
+    ));
+    out.push_str(&format!(
+        "output_activation {}\n",
+        cfg.output_activation.name()
+    ));
+    out.push_str(&format!("dropout {:016x}\n", cfg.dropout.to_bits()));
+    for (i, layer) in model.layers().iter().enumerate() {
+        out.push_str(&format!(
+            "layer {i} weights {}\n",
+            encode_f64s(layer.w.as_slice())
+        ));
+        out.push_str(&format!("layer {i} bias {}\n", encode_f64s(&layer.b)));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parse a model from the text checkpoint format.
+pub fn model_from_string(s: &str) -> Result<Mlp> {
+    let mut lines = s.lines();
+    let magic = lines.next().ok_or_else(|| NnError::Parse("empty checkpoint".into()))?;
+    if magic.trim() != MAGIC {
+        return Err(NnError::Parse(format!("bad magic line `{magic}`")));
+    }
+    let mut layers: Option<Vec<usize>> = None;
+    let mut hidden_act = Activation::Tanh;
+    let mut output_act = Activation::Identity;
+    let mut dropout = 0.0f64;
+    let mut weights: Vec<(usize, bool, Vec<f64>)> = Vec::new(); // (layer, is_weights, data)
+    let mut saw_end = false;
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, ' ');
+        let key = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("");
+        match key {
+            "layers" => {
+                let widths: std::result::Result<Vec<usize>, _> =
+                    rest.split_whitespace().map(str::parse::<usize>).collect();
+                layers = Some(widths.map_err(|e| NnError::Parse(format!("bad layers: {e}")))?);
+            }
+            "hidden_activation" => hidden_act = Activation::from_name(rest.trim())?,
+            "output_activation" => output_act = Activation::from_name(rest.trim())?,
+            "dropout" => {
+                let bits = u64::from_str_radix(rest.trim(), 16)
+                    .map_err(|e| NnError::Parse(format!("bad dropout: {e}")))?;
+                dropout = f64::from_bits(bits);
+            }
+            "layer" => {
+                let mut toks = rest.splitn(3, ' ');
+                let idx: usize = toks
+                    .next()
+                    .ok_or_else(|| NnError::Parse("layer line missing index".into()))?
+                    .parse()
+                    .map_err(|e| NnError::Parse(format!("bad layer index: {e}")))?;
+                let kind = toks
+                    .next()
+                    .ok_or_else(|| NnError::Parse("layer line missing kind".into()))?;
+                let data = decode_f64s(toks.next().unwrap_or(""))?;
+                match kind {
+                    "weights" => weights.push((idx, true, data)),
+                    "bias" => weights.push((idx, false, data)),
+                    other => {
+                        return Err(NnError::Parse(format!("unknown layer field `{other}`")))
+                    }
+                }
+            }
+            "end" => {
+                saw_end = true;
+                break;
+            }
+            other => return Err(NnError::Parse(format!("unknown key `{other}`"))),
+        }
+    }
+    if !saw_end {
+        return Err(NnError::Parse("checkpoint truncated (no `end`)".into()));
+    }
+    let layers = layers.ok_or_else(|| NnError::Parse("missing `layers` line".into()))?;
+    let config = MlpConfig {
+        layers: layers.clone(),
+        hidden_activation: hidden_act,
+        output_activation: output_act,
+        dropout,
+    };
+    // Build with throwaway init, then fill.
+    let mut scratch_rng = Rng::new(0);
+    let mut model = Mlp::new(config, &mut scratch_rng)?;
+    let n_layers = layers.len() - 1;
+    let mut filled = vec![(false, false); n_layers];
+    for (idx, is_w, data) in weights {
+        if idx >= n_layers {
+            return Err(NnError::Parse(format!(
+                "layer index {idx} out of range ({n_layers} layers)"
+            )));
+        }
+        let layer = &mut model.layers_mut()[idx];
+        if is_w {
+            let expect = layer.w.rows() * layer.w.cols();
+            if data.len() != expect {
+                return Err(NnError::Parse(format!(
+                    "layer {idx} weights: expected {expect} values, got {}",
+                    data.len()
+                )));
+            }
+            layer.w = Matrix::from_vec(layer.w.rows(), layer.w.cols(), data)
+                .map_err(|e| NnError::Parse(e.to_string()))?;
+            filled[idx].0 = true;
+        } else {
+            if data.len() != layer.b.len() {
+                return Err(NnError::Parse(format!(
+                    "layer {idx} bias: expected {} values, got {}",
+                    layer.b.len(),
+                    data.len()
+                )));
+            }
+            layer.b = data;
+            filled[idx].1 = true;
+        }
+    }
+    if let Some(missing) = filled.iter().position(|&(w, b)| !w || !b) {
+        return Err(NnError::Parse(format!(
+            "layer {missing} missing weights or bias"
+        )));
+    }
+    Ok(model)
+}
+
+/// Serialize a scaler (one line of means, one of stds).
+pub fn scaler_to_string(scaler: &Scaler) -> String {
+    format!(
+        "le-nn-scaler v1\nmeans {}\nstds {}\nend\n",
+        encode_f64s(scaler.means()),
+        encode_f64s(scaler.stds())
+    )
+}
+
+/// Parse a scaler.
+pub fn scaler_from_string(s: &str) -> Result<Scaler> {
+    let mut lines = s.lines();
+    let magic = lines.next().ok_or_else(|| NnError::Parse("empty scaler".into()))?;
+    if magic.trim() != "le-nn-scaler v1" {
+        return Err(NnError::Parse(format!("bad scaler magic `{magic}`")));
+    }
+    let mut means = None;
+    let mut stds = None;
+    for line in lines {
+        let line = line.trim();
+        if line == "end" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("means ") {
+            means = Some(decode_f64s(rest)?);
+        } else if let Some(rest) = line.strip_prefix("stds ") {
+            stds = Some(decode_f64s(rest)?);
+        }
+    }
+    match (means, stds) {
+        (Some(m), Some(s)) => Scaler::from_parts(m, s),
+        _ => Err(NnError::Parse("scaler missing means or stds".into())),
+    }
+}
+
+/// Write a model checkpoint to a file.
+pub fn save_model(model: &Mlp, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, model_to_string(model)).map_err(|e| NnError::Io(e.to_string()))
+}
+
+/// Load a model checkpoint from a file.
+pub fn load_model(path: &std::path::Path) -> Result<Mlp> {
+    let s = std::fs::read_to_string(path).map_err(|e| NnError::Io(e.to_string()))?;
+    model_from_string(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_model(seed: u64) -> Mlp {
+        let mut rng = Rng::new(seed);
+        Mlp::new(
+            MlpConfig::regression_with_dropout(&[5, 16, 8, 3], 0.25),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn model_roundtrip_is_exact() {
+        let model = example_model(1);
+        let text = model_to_string(&model);
+        let restored = model_from_string(&text).unwrap();
+        assert_eq!(restored.config().layers, model.config().layers);
+        assert_eq!(restored.config().dropout, model.config().dropout);
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.4, -0.5]]);
+        // Exact bit-for-bit: predictions identical.
+        assert_eq!(
+            model.predict(&x).unwrap().as_slice(),
+            restored.predict(&x).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let model = example_model(2);
+        let dir = std::env::temp_dir().join("le_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        save_model(&model, &path).unwrap();
+        let restored = load_model(&path).unwrap();
+        let x = Matrix::filled(1, 5, 0.7);
+        assert_eq!(
+            model.predict(&x).unwrap().as_slice(),
+            restored.predict(&x).unwrap().as_slice()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            model_from_string("not a checkpoint\n"),
+            Err(NnError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let model = example_model(3);
+        let text = model_to_string(&model);
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(model_from_string(&truncated).is_err());
+    }
+
+    #[test]
+    fn missing_layer_rejected() {
+        let model = example_model(4);
+        let text = model_to_string(&model);
+        // Drop the layer-1 bias line.
+        let filtered: String = text
+            .lines()
+            .filter(|l| !l.starts_with("layer 1 bias"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(model_from_string(&filtered).is_err());
+    }
+
+    #[test]
+    fn wrong_sized_weights_rejected() {
+        let model = example_model(5);
+        let mut text = model_to_string(&model);
+        // Corrupt: truncate the weight payload of layer 0 (remove last token).
+        let lines: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("layer 0 weights") {
+                    let mut toks: Vec<&str> = l.split(' ').collect();
+                    toks.pop();
+                    toks.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        text = lines.join("\n");
+        assert!(model_from_string(&text).is_err());
+    }
+
+    #[test]
+    fn scaler_roundtrip_exact() {
+        let scaler = Scaler::from_parts(
+            vec![1.0, -2.5, std::f64::consts::PI],
+            vec![0.5, 3.0, 1e-7],
+        )
+        .unwrap();
+        let restored = scaler_from_string(&scaler_to_string(&scaler)).unwrap();
+        assert_eq!(restored, scaler);
+    }
+
+    #[test]
+    fn special_float_values_roundtrip() {
+        // Hex-bit encoding must preserve subnormals and extremes.
+        let vals = [
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -0.0,
+            1e-320, // subnormal
+        ];
+        let decoded = decode_f64s(&encode_f64s(&vals)).unwrap();
+        for (a, b) in vals.iter().zip(decoded.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn garbage_tokens_rejected() {
+        assert!(decode_f64s("zzzz").is_err());
+    }
+}

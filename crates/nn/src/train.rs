@@ -1,0 +1,388 @@
+//! Mini-batch training loop with shuffling, validation split, early
+//! stopping, and gradient clipping.
+
+use le_linalg::{Matrix, Rng};
+
+use crate::loss::Loss;
+use crate::model::Mlp;
+use crate::optimizer::{Optimizer, OptimizerState};
+use crate::{NnError, Result};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimizer rule.
+    pub optimizer: Optimizer,
+    /// Loss function.
+    pub loss: Loss,
+    /// Fraction of the data held out for validation (0 disables).
+    pub validation_fraction: f64,
+    /// Stop if validation loss has not improved for this many epochs
+    /// (`None` disables early stopping).
+    pub patience: Option<usize>,
+    /// Clip the global gradient norm to this value (`None` disables).
+    pub grad_clip: Option<f64>,
+    /// Seed for shuffling, dropout, and the validation split.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            batch_size: 32,
+            optimizer: Optimizer::adam(1e-3),
+            loss: Loss::Mse,
+            validation_fraction: 0.15,
+            patience: Some(25),
+            grad_clip: Some(10.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch history and final summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f64>,
+    /// Validation loss per epoch (empty if no validation split).
+    pub val_loss: Vec<f64>,
+    /// Epoch index of the best validation loss (or last epoch).
+    pub best_epoch: usize,
+    /// Best validation loss (or final training loss without validation).
+    pub best_loss: f64,
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+    /// True if early stopping triggered.
+    pub early_stopped: bool,
+}
+
+/// Stateful trainer binding a model to a config.
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// New trainer with the given config.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// Train `model` on `(x, y)` in place and return the history.
+    ///
+    /// Inputs are in *scaled* space — callers use [`crate::Scaler`] first.
+    /// The model with the best validation loss is the one left in `model`
+    /// (weights are restored at the end if early stopping kept a snapshot).
+    pub fn fit(&self, model: &mut Mlp, x: &Matrix, y: &Matrix) -> Result<TrainReport> {
+        if x.rows() != y.rows() {
+            return Err(NnError::Shape(format!(
+                "x has {} rows but y has {}",
+                x.rows(),
+                y.rows()
+            )));
+        }
+        if x.rows() == 0 {
+            return Err(NnError::Shape("cannot train on empty dataset".into()));
+        }
+        if x.cols() != model.in_dim() || y.cols() != model.out_dim() {
+            return Err(NnError::Shape(format!(
+                "model is {}→{} but data is {}→{}",
+                model.in_dim(),
+                model.out_dim(),
+                x.cols(),
+                y.cols()
+            )));
+        }
+        let cfg = &self.config;
+        if cfg.batch_size == 0 {
+            return Err(NnError::InvalidConfig("batch_size must be > 0".into()));
+        }
+        if !(0.0..1.0).contains(&cfg.validation_fraction) {
+            return Err(NnError::InvalidConfig(
+                "validation_fraction must be in [0,1)".into(),
+            ));
+        }
+
+        let mut rng = Rng::new(cfg.seed);
+        let n = x.rows();
+        let n_val = ((n as f64) * cfg.validation_fraction).round() as usize;
+        let n_val = if n_val >= n { n - 1 } else { n_val };
+        let mut indices: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut indices);
+        let (val_idx, train_idx) = indices.split_at(n_val);
+        let x_train = x.gather_rows(train_idx);
+        let y_train = y.gather_rows(train_idx);
+        let (x_val, y_val) = if n_val > 0 {
+            (Some(x.gather_rows(val_idx)), Some(y.gather_rows(val_idx)))
+        } else {
+            (None, None)
+        };
+
+        let mut opt = OptimizerState::new(cfg.optimizer, model.n_param_blocks());
+        let mut report = TrainReport {
+            train_loss: Vec::with_capacity(cfg.epochs),
+            val_loss: Vec::with_capacity(cfg.epochs),
+            best_epoch: 0,
+            best_loss: f64::INFINITY,
+            epochs_run: 0,
+            early_stopped: false,
+        };
+        let mut best_snapshot: Option<Mlp> = None;
+        let mut since_best = 0usize;
+        let n_train = x_train.rows();
+        let mut order: Vec<usize> = (0..n_train).collect();
+
+        for epoch in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let xb = x_train.gather_rows(chunk);
+                let yb = y_train.gather_rows(chunk);
+                let pred = model.forward_train(&xb, &mut rng)?;
+                let (loss, grad) = cfg.loss.evaluate(&pred, &yb)?;
+                model.backward(&grad)?;
+                if let Some(clip) = cfg.grad_clip {
+                    let norm = model.grad_norm();
+                    if norm > clip {
+                        let scale = clip / norm;
+                        for layer in model.layers_mut() {
+                            layer.grad_w.scale_mut(scale);
+                            for g in &mut layer.grad_b {
+                                *g *= scale;
+                            }
+                        }
+                    }
+                }
+                opt.begin_step();
+                model.for_each_param_block(|block, params, grads| {
+                    opt.update_slice(block, params, grads);
+                });
+                epoch_loss += loss;
+                batches += 1;
+            }
+            epoch_loss /= batches.max(1) as f64;
+            report.train_loss.push(epoch_loss);
+            report.epochs_run = epoch + 1;
+
+            // Validation / early stopping.
+            let monitored = if let (Some(xv), Some(yv)) = (&x_val, &y_val) {
+                let pred = model.predict(xv)?;
+                let vl = cfg.loss.value(&pred, yv)?;
+                report.val_loss.push(vl);
+                vl
+            } else {
+                epoch_loss
+            };
+            if monitored < report.best_loss {
+                report.best_loss = monitored;
+                report.best_epoch = epoch;
+                since_best = 0;
+                if cfg.patience.is_some() {
+                    best_snapshot = Some(model.clone());
+                }
+            } else {
+                since_best += 1;
+                if let Some(patience) = cfg.patience {
+                    if since_best >= patience {
+                        report.early_stopped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(best) = best_snapshot {
+            *model = best;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MlpConfig;
+    use le_linalg::stats;
+
+    /// Build a toy regression dataset y = f(x) + noise.
+    fn make_dataset(
+        n: usize,
+        f: impl Fn(f64, f64) -> f64,
+        noise: f64,
+        seed: u64,
+    ) -> (Matrix, Matrix) {
+        let mut rng = Rng::new(seed);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Matrix::zeros(n, 1);
+        for i in 0..n {
+            let a = rng.uniform_in(-1.0, 1.0);
+            let b = rng.uniform_in(-1.0, 1.0);
+            x.set(i, 0, a);
+            x.set(i, 1, b);
+            y.set(i, 0, f(a, b) + noise * rng.gaussian());
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (x, y) = make_dataset(512, |a, b| 2.0 * a - 3.0 * b + 0.5, 0.0, 1);
+        let mut rng = Rng::new(2);
+        let mut model = Mlp::new(MlpConfig::regression(&[2, 16, 1]), &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 500,
+            optimizer: Optimizer::adam(5e-3),
+            patience: Some(80),
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &x, &y).unwrap();
+        assert!(
+            report.best_loss < 2e-3,
+            "linear fn should be learnable, got {}",
+            report.best_loss
+        );
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let (x, y) = make_dataset(1024, |a, b| (3.0 * a).sin() * b, 0.01, 3);
+        let mut rng = Rng::new(4);
+        let mut model = Mlp::new(MlpConfig::regression(&[2, 32, 32, 1]), &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 400,
+            batch_size: 64,
+            optimizer: Optimizer::adam(3e-3),
+            patience: Some(60),
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &x, &y).unwrap();
+        assert!(
+            report.best_loss < 5e-3,
+            "sin(3a)*b should be learnable, got {}",
+            report.best_loss
+        );
+        // Out-of-sample check.
+        let (xt, yt) = make_dataset(256, |a, b| (3.0 * a).sin() * b, 0.0, 5);
+        let pred = model.predict(&xt).unwrap();
+        let rmse = stats::rmse(pred.as_slice(), yt.as_slice()).unwrap();
+        assert!(rmse < 0.12, "test rmse {rmse}");
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (x, y) = make_dataset(256, |a, b| a * b, 0.0, 6);
+        let mut rng = Rng::new(7);
+        let mut model = Mlp::new(MlpConfig::regression(&[2, 16, 1]), &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 50,
+            patience: None,
+            validation_fraction: 0.0,
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &x, &y).unwrap();
+        assert_eq!(report.epochs_run, 50);
+        assert!(report.val_loss.is_empty());
+        let first = report.train_loss[0];
+        let last = *report.train_loss.last().unwrap();
+        assert!(last < first * 0.5, "loss {first} -> {last} should halve");
+    }
+
+    #[test]
+    fn early_stopping_triggers_and_restores_best() {
+        // Tiny noisy dataset, oversized net -> overfits, val loss rises.
+        let (x, y) = make_dataset(60, |a, _| a, 0.3, 8);
+        let mut rng = Rng::new(9);
+        let mut model = Mlp::new(MlpConfig::regression(&[2, 64, 64, 1]), &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 2000,
+            batch_size: 8,
+            optimizer: Optimizer::adam(1e-2),
+            validation_fraction: 0.3,
+            patience: Some(10),
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &x, &y).unwrap();
+        assert!(report.early_stopped, "should early-stop on noisy tiny data");
+        assert!(report.epochs_run < 2000);
+        assert_eq!(report.best_epoch + 10 + 1, report.epochs_run);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = make_dataset(128, |a, b| a + b, 0.05, 10);
+        let run = || {
+            let mut rng = Rng::new(11);
+            let mut model = Mlp::new(MlpConfig::regression(&[2, 8, 1]), &mut rng).unwrap();
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 20,
+                seed: 123,
+                ..Default::default()
+            });
+            trainer.fit(&mut model, &x, &y).unwrap();
+            model
+                .predict(&Matrix::from_rows(&[&[0.3, -0.3]]))
+                .unwrap()
+                .get(0, 0)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut rng = Rng::new(12);
+        let mut model = Mlp::new(MlpConfig::regression(&[2, 4, 1]), &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig::default());
+        // Mismatched rows.
+        assert!(trainer
+            .fit(&mut model, &Matrix::zeros(10, 2), &Matrix::zeros(9, 1))
+            .is_err());
+        // Wrong feature count.
+        assert!(trainer
+            .fit(&mut model, &Matrix::zeros(10, 3), &Matrix::zeros(10, 1))
+            .is_err());
+        // Empty.
+        assert!(trainer
+            .fit(&mut model, &Matrix::zeros(0, 2), &Matrix::zeros(0, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut rng = Rng::new(13);
+        let mut model = Mlp::new(MlpConfig::regression(&[2, 4, 1]), &mut rng).unwrap();
+        let bad_batch = Trainer::new(TrainConfig {
+            batch_size: 0,
+            ..Default::default()
+        });
+        assert!(bad_batch
+            .fit(&mut model, &Matrix::zeros(4, 2), &Matrix::zeros(4, 1))
+            .is_err());
+        let bad_val = Trainer::new(TrainConfig {
+            validation_fraction: 1.5,
+            ..Default::default()
+        });
+        assert!(bad_val
+            .fit(&mut model, &Matrix::zeros(4, 2), &Matrix::zeros(4, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn dropout_training_still_converges() {
+        let (x, y) = make_dataset(512, |a, b| a - b, 0.02, 14);
+        let mut rng = Rng::new(15);
+        let mut model =
+            Mlp::new(MlpConfig::regression_with_dropout(&[2, 32, 1], 0.1), &mut rng).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 300,
+            optimizer: Optimizer::adam(3e-3),
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &x, &y).unwrap();
+        assert!(report.best_loss < 0.02, "dropout net loss {}", report.best_loss);
+    }
+}

@@ -1,0 +1,48 @@
+//! `le-perfmodel` — the paper's *effective performance* analytics (§III-D).
+//!
+//! The central formula of the paper:
+//!
+//! ```text
+//!                    T_seq (N_lookup + N_train)
+//! S = ─────────────────────────────────────────────────
+//!      T_lookup · N_lookup + (T_train + T_learn) · N_train
+//! ```
+//!
+//! with its two limits —
+//!
+//! * no machine learning (`N_lookup = 0`): `S → T_seq / T_train` (ordinary
+//!   parallel speedup of the simulation), and
+//! * `N_lookup / N_train → ∞`: `S → T_seq / T_lookup`, "which can be
+//!   huge!".
+//!
+//! [`speedup`] implements the formula, [`campaign`] tracks the four times
+//! from live measurements so measured hybrid runs can be cross-checked
+//! against the analytic value, and [`scaling`] produces the sweep series
+//! the E1 bench prints.
+
+pub mod campaign;
+pub mod scaling;
+pub mod speedup;
+
+pub use campaign::CampaignAccounting;
+pub use speedup::{EffectiveSpeedup, SpeedupTimes};
+
+/// Errors from the performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerfError {
+    /// A time or count is invalid (negative, zero where positive needed).
+    Invalid(String),
+}
+
+impl std::fmt::Display for PerfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfError::Invalid(s) => write!(f, "invalid input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, PerfError>;

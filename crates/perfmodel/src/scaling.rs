@@ -1,0 +1,130 @@
+//! Sweep series for the E1 bench: effective speedup as a function of the
+//! lookup-to-training ratio, across lookup-cost regimes.
+
+use crate::speedup::{effective_speedup, SpeedupTimes};
+use crate::Result;
+
+/// One point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// N_lookup / N_train ratio.
+    pub ratio: f64,
+    /// Effective speedup at that ratio.
+    pub speedup: f64,
+}
+
+/// Sweep the lookup/train ratio logarithmically from `10^lo` to `10^hi`
+/// with `points_per_decade` samples per decade, at fixed `n_train`.
+pub fn sweep_ratio(
+    times: &SpeedupTimes,
+    n_train: f64,
+    lo_exp: i32,
+    hi_exp: i32,
+    points_per_decade: usize,
+) -> Result<Vec<SweepPoint>> {
+    if hi_exp < lo_exp || points_per_decade == 0 {
+        return Err(crate::PerfError::Invalid(format!(
+            "bad sweep range {lo_exp}..{hi_exp} × {points_per_decade}"
+        )));
+    }
+    let n_points = ((hi_exp - lo_exp) as usize) * points_per_decade + 1;
+    let mut out = Vec::with_capacity(n_points);
+    for i in 0..n_points {
+        let exp = lo_exp as f64 + i as f64 / points_per_decade as f64;
+        let ratio = 10f64.powf(exp);
+        let s = effective_speedup(times, ratio * n_train, n_train)?;
+        out.push(SweepPoint {
+            ratio,
+            speedup: s.speedup,
+        });
+    }
+    Ok(out)
+}
+
+/// Find the ratio at which the speedup crosses `threshold` by linear
+/// interpolation in log-ratio (`None` if never crossed in the sweep).
+pub fn crossover_ratio(points: &[SweepPoint], threshold: f64) -> Option<f64> {
+    for pair in points.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a.speedup < threshold && b.speedup >= threshold {
+            let la = a.ratio.ln();
+            let lb = b.ratio.ln();
+            let frac = (threshold - a.speedup) / (b.speedup - a.speedup);
+            return Some((la + frac * (lb - la)).exp());
+        }
+    }
+    if points.first().is_some_and(|p| p.speedup >= threshold) {
+        return points.first().map(|p| p.ratio);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times() -> SpeedupTimes {
+        SpeedupTimes {
+            t_seq: 100.0,
+            t_train: 10.0,
+            t_learn: 0.1,
+            t_lookup: 1e-3,
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_and_bounded() {
+        let pts = sweep_ratio(&times(), 100.0, -2, 6, 4).unwrap();
+        assert_eq!(pts.len(), 8 * 4 + 1);
+        for w in pts.windows(2) {
+            assert!(w[1].speedup >= w[0].speedup, "monotone in ratio");
+        }
+        let limit = 100.0 / 1e-3;
+        assert!(pts.last().unwrap().speedup <= limit);
+        assert!(pts.last().unwrap().speedup > 0.9 * limit);
+    }
+
+    #[test]
+    fn sweep_validation() {
+        assert!(sweep_ratio(&times(), 100.0, 3, 1, 4).is_err());
+        assert!(sweep_ratio(&times(), 100.0, 0, 2, 0).is_err());
+    }
+
+    #[test]
+    fn crossover_found_and_consistent() {
+        let pts = sweep_ratio(&times(), 100.0, -2, 6, 8).unwrap();
+        let threshold = 1000.0;
+        let ratio = crossover_ratio(&pts, threshold).expect("crossed");
+        // Evaluate at the crossover: should be near the threshold.
+        let s = effective_speedup(&times(), ratio * 100.0, 100.0)
+            .unwrap()
+            .speedup;
+        assert!(
+            (s - threshold).abs() < 0.2 * threshold,
+            "speedup at crossover {s} vs threshold {threshold}"
+        );
+    }
+
+    #[test]
+    fn crossover_none_when_unreachable() {
+        let pts = sweep_ratio(&times(), 100.0, -2, 2, 4).unwrap();
+        // The asymptote is 1e5 but at ratio 100 the speedup is far below
+        // 9e4.
+        assert!(crossover_ratio(&pts, 9e4).is_none());
+    }
+
+    #[test]
+    fn crossover_at_first_point() {
+        let pts = vec![
+            SweepPoint {
+                ratio: 0.1,
+                speedup: 50.0,
+            },
+            SweepPoint {
+                ratio: 1.0,
+                speedup: 60.0,
+            },
+        ];
+        assert_eq!(crossover_ratio(&pts, 10.0), Some(0.1));
+    }
+}

@@ -1,0 +1,425 @@
+//! The discrete-event engine: a single clock, arrival and completion
+//! events, and policy-specific queue management.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::metrics::{Completion, Metrics};
+use crate::policy::Policy;
+use crate::task::{TaskClass, Workload};
+use crate::Result;
+
+/// Event in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Arrival(usize),
+    Completion { worker: usize, task: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversed comparison; ties broken by sequence number
+        // for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-worker state.
+#[derive(Debug, Clone, Default)]
+struct Worker {
+    busy_until: f64,
+    busy_time: f64,
+    queue: VecDeque<usize>,
+    /// Total queued service demand (for shortest-queue routing).
+    queued_service: f64,
+}
+
+/// Simulate the workload under the policy on `n_workers` workers.
+pub fn simulate(workload: &Workload, n_workers: usize, policy: Policy) -> Result<Metrics> {
+    policy.validate(n_workers)?;
+    let tasks = &workload.tasks;
+    let mut events = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, t) in tasks.iter().enumerate() {
+        events.push(Event {
+            time: t.arrival,
+            seq,
+            kind: EventKind::Arrival(i),
+        });
+        seq += 1;
+    }
+    let mut workers = vec![Worker::default(); n_workers];
+    let mut worker_free = vec![true; n_workers];
+    // Global queues (policy-dependent use).
+    let mut global_fifo: VecDeque<usize> = VecDeque::new();
+    let mut learnt_fifo: VecDeque<usize> = VecDeque::new();
+    let mut unlearnt_fifo: VecDeque<usize> = VecDeque::new();
+    let mut completions: Vec<Completion> = Vec::with_capacity(tasks.len());
+    let mut now = 0.0f64;
+    // Round-robin pointer for WorkStealing placement.
+    let mut rr = 0usize;
+
+    let learnt_pool = match policy {
+        Policy::DedicatedSplit { learnt_workers } => learnt_workers,
+        _ => 0,
+    };
+
+    // Start a task on a worker: schedule its completion.
+    macro_rules! start {
+        ($w:expr, $task_idx:expr, $events:expr) => {{
+            let t = &tasks[$task_idx];
+            let finish = now + t.service;
+            workers[$w].busy_until = finish;
+            workers[$w].busy_time += t.service;
+            worker_free[$w] = false;
+            $events.push(Event {
+                time: finish,
+                seq,
+                kind: EventKind::Completion {
+                    worker: $w,
+                    task: $task_idx,
+                },
+            });
+            seq += 1;
+        }};
+    }
+
+    // Find an idle worker in a pool range.
+    let find_idle = |free: &[bool], range: std::ops::Range<usize>| -> Option<usize> {
+        range.into_iter().find(|&w| free[w])
+    };
+
+    while let Some(ev) = events.pop() {
+        now = ev.time;
+        match ev.kind {
+            EventKind::Arrival(idx) => {
+                let class = tasks[idx].class;
+                match policy {
+                    Policy::SingleQueue | Policy::LearntPriority => {
+                        if let Some(w) = find_idle(&worker_free, 0..n_workers) {
+                            start!(w, idx, events);
+                        } else if policy == Policy::LearntPriority
+                            && class == TaskClass::Learnt
+                        {
+                            learnt_fifo.push_back(idx);
+                        } else {
+                            global_fifo.push_back(idx);
+                        }
+                    }
+                    Policy::DedicatedSplit { .. } => {
+                        let (pool, queue) = match class {
+                            TaskClass::Learnt => (0..learnt_pool, &mut learnt_fifo),
+                            TaskClass::Unlearnt => {
+                                (learnt_pool..n_workers, &mut unlearnt_fifo)
+                            }
+                        };
+                        if let Some(w) = find_idle(&worker_free, pool) {
+                            start!(w, idx, events);
+                        } else {
+                            queue.push_back(idx);
+                        }
+                    }
+                    Policy::ShortestQueue => {
+                        // Join the worker with the least queued demand
+                        // (counting remaining busy time).
+                        let w = (0..n_workers)
+                            .min_by(|&a, &b| {
+                                let da = workers[a].queued_service
+                                    + (workers[a].busy_until - now).max(0.0);
+                                let db = workers[b].queued_service
+                                    + (workers[b].busy_until - now).max(0.0);
+                                da.total_cmp(&db)
+                            })
+                            .expect("n_workers > 0");
+                        if worker_free[w] {
+                            start!(w, idx, events);
+                        } else {
+                            workers[w].queued_service += tasks[idx].service;
+                            workers[w].queue.push_back(idx);
+                        }
+                    }
+                    Policy::WorkStealing => {
+                        let w = rr % n_workers;
+                        rr += 1;
+                        if worker_free[w] {
+                            start!(w, idx, events);
+                        } else {
+                            workers[w].queued_service += tasks[idx].service;
+                            workers[w].queue.push_back(idx);
+                        }
+                    }
+                }
+            }
+            EventKind::Completion { worker, task } => {
+                let t = &tasks[task];
+                completions.push(Completion {
+                    class: t.class,
+                    arrival: t.arrival,
+                    start: now - t.service,
+                    finish: now,
+                });
+                worker_free[worker] = true;
+                // Pull next work per policy.
+                match policy {
+                    Policy::SingleQueue => {
+                        if let Some(next) = global_fifo.pop_front() {
+                            start!(worker, next, events);
+                        }
+                    }
+                    Policy::LearntPriority => {
+                        if let Some(next) =
+                            learnt_fifo.pop_front().or_else(|| global_fifo.pop_front())
+                        {
+                            start!(worker, next, events);
+                        }
+                    }
+                    Policy::DedicatedSplit { .. } => {
+                        let queue = if worker < learnt_pool {
+                            &mut learnt_fifo
+                        } else {
+                            &mut unlearnt_fifo
+                        };
+                        if let Some(next) = queue.pop_front() {
+                            start!(worker, next, events);
+                        }
+                    }
+                    Policy::ShortestQueue => {
+                        if let Some(next) = workers[worker].queue.pop_front() {
+                            workers[worker].queued_service -= tasks[next].service;
+                            start!(worker, next, events);
+                        }
+                    }
+                    Policy::WorkStealing => {
+                        let next = if let Some(n) = workers[worker].queue.pop_front() {
+                            workers[worker].queued_service -= tasks[n].service;
+                            Some(n)
+                        } else {
+                            // Steal from the most loaded queue.
+                            let victim = (0..n_workers)
+                                .filter(|&v| !workers[v].queue.is_empty())
+                                .max_by(|&a, &b| {
+                                    workers[a]
+                                        .queued_service
+                                        .total_cmp(&workers[b].queued_service)
+                                });
+                            victim.and_then(|v| {
+                                workers[v].queue.pop_back().inspect(|&n| {
+                                    workers[v].queued_service -= tasks[n].service;
+                                })
+                            })
+                        };
+                        if let Some(n) = next {
+                            start!(worker, n, events);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let busy: Vec<f64> = workers.iter().map(|w| w.busy_time).collect();
+    Ok(Metrics::from_completions(completions, &busy, now))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Task, WorkloadConfig};
+
+    fn mixed_workload(seed: u64) -> Workload {
+        Workload::generate(
+            &WorkloadConfig {
+                n_tasks: 800,
+                mean_interarrival: 0.02,
+                sim_service: 1.0,
+                learnt_speedup: 1e4,
+                learnt_fraction_start: 0.5,
+                learnt_fraction_end: 0.5,
+            },
+            seed,
+        )
+        .unwrap()
+    }
+
+    fn all_policies() -> Vec<Policy> {
+        vec![
+            Policy::SingleQueue,
+            Policy::DedicatedSplit { learnt_workers: 1 },
+            Policy::ShortestQueue,
+            Policy::WorkStealing,
+            Policy::LearntPriority,
+        ]
+    }
+
+    #[test]
+    fn every_task_completes_under_every_policy() {
+        let w = mixed_workload(1);
+        for policy in all_policies() {
+            let m = simulate(&w, 4, policy).unwrap();
+            assert_eq!(
+                m.n_completed,
+                800,
+                "{}: all tasks must complete",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn conservation_of_work() {
+        // Total busy time equals total service demand for every policy.
+        let w = mixed_workload(2);
+        let demand = w.total_service();
+        for policy in all_policies() {
+            let m = simulate(&w, 4, policy).unwrap();
+            assert!(
+                (m.total_busy - demand).abs() < 1e-6,
+                "{}: busy {} vs demand {demand}",
+                policy.name(),
+                m.total_busy
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_bounded_below_by_critical_path() {
+        let w = mixed_workload(3);
+        let demand = w.total_service();
+        let n_workers = 4;
+        for policy in all_policies() {
+            let m = simulate(&w, n_workers, policy).unwrap();
+            assert!(
+                m.makespan + 1e-9 >= demand / n_workers as f64,
+                "{}: makespan {} below perfect-parallel bound",
+                policy.name(),
+                m.makespan
+            );
+            // And at least the last arrival.
+            assert!(m.makespan >= w.tasks.last().unwrap().arrival);
+        }
+    }
+
+    #[test]
+    fn split_pool_cuts_learnt_latency_vs_single_queue() {
+        // The paper's headline scheduling claim.
+        let w = Workload::generate(
+            &crate::task::WorkloadConfig {
+                n_tasks: 1500,
+                mean_interarrival: 0.4,
+                sim_service: 8.0,
+                learnt_speedup: 1e5,
+                learnt_fraction_start: 0.6,
+                learnt_fraction_end: 0.6,
+            },
+            4,
+        )
+        .unwrap();
+        let single = simulate(&w, 4, Policy::SingleQueue).unwrap();
+        let split = simulate(&w, 4, Policy::DedicatedSplit { learnt_workers: 1 }).unwrap();
+        let single_learnt = single.mean_latency(TaskClass::Learnt).unwrap();
+        let split_learnt = split.mean_latency(TaskClass::Learnt).unwrap();
+        assert!(
+            split_learnt < single_learnt * 0.2,
+            "split should collapse learnt latency: {split_learnt} vs {single_learnt}"
+        );
+    }
+
+    #[test]
+    fn single_worker_single_queue_is_fifo() {
+        // Two tasks arriving in order on one worker: completion order
+        // matches arrival order and waits are exact.
+        let w = Workload {
+            tasks: vec![
+                Task {
+                    id: 0,
+                    class: TaskClass::Unlearnt,
+                    arrival: 0.0,
+                    service: 2.0,
+                },
+                Task {
+                    id: 1,
+                    class: TaskClass::Learnt,
+                    arrival: 0.5,
+                    service: 0.1,
+                },
+            ],
+        };
+        let m = simulate(&w, 1, Policy::SingleQueue).unwrap();
+        assert_eq!(m.n_completed, 2);
+        assert!((m.makespan - 2.1).abs() < 1e-12);
+        // The learnt task waited behind the long one: latency 1.6.
+        assert!((m.mean_latency(TaskClass::Learnt).unwrap() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learnt_priority_reorders_queue() {
+        // Same two tasks + a second long one; priority lets the learnt task
+        // jump the queue.
+        let tasks = vec![
+            Task {
+                id: 0,
+                class: TaskClass::Unlearnt,
+                arrival: 0.0,
+                service: 2.0,
+            },
+            Task {
+                id: 1,
+                class: TaskClass::Unlearnt,
+                arrival: 0.1,
+                service: 2.0,
+            },
+            Task {
+                id: 2,
+                class: TaskClass::Learnt,
+                arrival: 0.2,
+                service: 0.01,
+            },
+        ];
+        let w = Workload { tasks };
+        let fifo = simulate(&w, 1, Policy::SingleQueue).unwrap();
+        let prio = simulate(&w, 1, Policy::LearntPriority).unwrap();
+        assert!(
+            prio.mean_latency(TaskClass::Learnt).unwrap()
+                < fifo.mean_latency(TaskClass::Learnt).unwrap(),
+            "priority must help the learnt task"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = mixed_workload(9);
+        for policy in all_policies() {
+            let a = simulate(&w, 3, policy).unwrap();
+            let b = simulate(&w, 3, policy).unwrap();
+            assert_eq!(a.makespan, b.makespan, "{}", policy.name());
+            assert_eq!(a.n_completed, b.n_completed);
+        }
+    }
+
+    #[test]
+    fn invalid_configs() {
+        let w = mixed_workload(10);
+        assert!(simulate(&w, 0, Policy::SingleQueue).is_err());
+        assert!(simulate(&w, 4, Policy::DedicatedSplit { learnt_workers: 9 }).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! `le-sched` — a discrete-event scheduler simulator for the heterogeneous
+//! workloads MLaroundHPC creates (research issues 7–8 of the paper).
+//!
+//! "The different characters of surrogate and real executions produce
+//! system challenges as surrogate execution is much faster … the ML learnt
+//! result can be huge factors (10⁵ in our initial example) faster than
+//! simulated answers. … One can address by load balancing the unlearnt and
+//! learnt separately."
+//!
+//! The simulator models a pool of identical workers served tasks of two
+//! classes — `Learnt` (surrogate lookups, ~10⁵× shorter) and `Unlearnt`
+//! (full simulations) — under several scheduling policies, and reports the
+//! queueing metrics that make the paper's point: with a single FIFO queue,
+//! tiny learnt tasks suffer head-of-line blocking behind long simulations;
+//! separating the classes collapses learnt-task latency without hurting
+//! simulation throughput.
+//!
+//! * [`task`] — task/workload model with a ramping learnt fraction (the
+//!   paper: "the relative values will even vary over execution time of the
+//!   application, as the amount of data generated as a ratio of training
+//!   data will vary").
+//! * [`des`] — the event-driven engine.
+//! * [`policy`] — Single global FIFO, dedicated split pools, shortest-queue
+//!   dispatch, and work stealing.
+//! * [`metrics`] — per-class latency/wait statistics, utilization,
+//!   makespan.
+
+pub mod des;
+pub mod metrics;
+pub mod policy;
+pub mod task;
+
+pub use des::simulate;
+pub use metrics::Metrics;
+pub use policy::Policy;
+pub use task::{Task, TaskClass, Workload, WorkloadConfig};
+
+/// Errors from the scheduler simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// Invalid configuration.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::InvalidConfig(s) => write!(f, "invalid config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SchedError>;

@@ -1,0 +1,83 @@
+//! Scheduling policies for the mixed learnt/unlearnt workload.
+
+use crate::{Result, SchedError};
+
+/// How tasks are routed to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// One global FIFO queue; any idle worker takes the head task. Learnt
+    /// tasks suffer head-of-line blocking behind simulations.
+    SingleQueue,
+    /// The pool is split: `learnt_workers` serve only learnt tasks, the
+    /// rest serve only unlearnt tasks — the paper's "load balancing the
+    /// unlearnt and learnt separately".
+    DedicatedSplit {
+        /// Workers reserved for learnt tasks.
+        learnt_workers: usize,
+    },
+    /// Per-worker FIFO queues; arrivals join the shortest queue (by total
+    /// queued service demand).
+    ShortestQueue,
+    /// Per-worker FIFO queues with random placement; idle workers steal
+    /// from the most loaded queue.
+    WorkStealing,
+    /// One shared priority queue where learnt (short) tasks preempt the
+    /// *queue order* (not running tasks): shortest-class-first.
+    LearntPriority,
+}
+
+impl Policy {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::SingleQueue => "single-queue",
+            Policy::DedicatedSplit { .. } => "dedicated-split",
+            Policy::ShortestQueue => "shortest-queue",
+            Policy::WorkStealing => "work-stealing",
+            Policy::LearntPriority => "learnt-priority",
+        }
+    }
+
+    /// Validate against the worker count.
+    pub fn validate(&self, n_workers: usize) -> Result<()> {
+        if n_workers == 0 {
+            return Err(SchedError::InvalidConfig("need at least one worker".into()));
+        }
+        if let Policy::DedicatedSplit { learnt_workers } = self {
+            if *learnt_workers == 0 || *learnt_workers >= n_workers {
+                return Err(SchedError::InvalidConfig(format!(
+                    "dedicated split needs 1..{} learnt workers, got {}",
+                    n_workers, learnt_workers
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_distinct() {
+        let all = [
+            Policy::SingleQueue,
+            Policy::DedicatedSplit { learnt_workers: 1 },
+            Policy::ShortestQueue,
+            Policy::WorkStealing,
+            Policy::LearntPriority,
+        ];
+        let names: std::collections::HashSet<_> = all.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Policy::SingleQueue.validate(0).is_err());
+        assert!(Policy::SingleQueue.validate(1).is_ok());
+        assert!(Policy::DedicatedSplit { learnt_workers: 0 }.validate(4).is_err());
+        assert!(Policy::DedicatedSplit { learnt_workers: 4 }.validate(4).is_err());
+        assert!(Policy::DedicatedSplit { learnt_workers: 1 }.validate(4).is_ok());
+    }
+}

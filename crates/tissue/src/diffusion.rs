@@ -1,0 +1,230 @@
+//! Explicit FTCS advection–diffusion on a 2-D lattice with no-flux
+//! boundaries — the "compute intensive" fine-timescale transport module of
+//! the virtual tissue model. Stability is enforced at construction via the
+//! CFL-style bound for the explicit scheme.
+
+use crate::field::Field;
+use crate::{Result, TissueError};
+
+/// The fine-timescale transport solver.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffusionSolver {
+    /// Diffusion constant.
+    pub d: f64,
+    /// Lattice spacing.
+    pub dx: f64,
+    /// Fine timestep.
+    pub dt: f64,
+    /// Advection velocity (vx, vy).
+    pub velocity: (f64, f64),
+    /// First-order decay rate of the diffusing species.
+    pub decay: f64,
+}
+
+impl DiffusionSolver {
+    /// Construct, enforcing explicit-scheme stability:
+    /// `dt ≤ dx² / (4 D)` and a CFL bound for the upwind advection term.
+    pub fn new(d: f64, dx: f64, dt: f64, velocity: (f64, f64), decay: f64) -> Result<Self> {
+        if d < 0.0 || dx <= 0.0 || dt <= 0.0 || decay < 0.0 {
+            return Err(TissueError::InvalidConfig(format!(
+                "need d ≥ 0, dx > 0, dt > 0, decay ≥ 0; got d={d}, dx={dx}, dt={dt}, decay={decay}"
+            )));
+        }
+        if d > 0.0 && dt > dx * dx / (4.0 * d) {
+            return Err(TissueError::InvalidConfig(format!(
+                "diffusive stability violated: dt={dt} > dx²/(4D)={}",
+                dx * dx / (4.0 * d)
+            )));
+        }
+        let vmax = velocity.0.abs().max(velocity.1.abs());
+        if vmax > 0.0 && dt > dx / (2.0 * vmax) {
+            return Err(TissueError::InvalidConfig(format!(
+                "advective CFL violated: dt={dt} > dx/(2|v|)={}",
+                dx / (2.0 * vmax)
+            )));
+        }
+        Ok(Self {
+            d,
+            dx,
+            dt,
+            velocity,
+            decay,
+        })
+    }
+
+    /// Pure-diffusion convenience constructor.
+    pub fn diffusion_only(d: f64, dx: f64, dt: f64) -> Result<Self> {
+        Self::new(d, dx, dt, (0.0, 0.0), 0.0)
+    }
+
+    /// One fine step: FTCS diffusion + first-order upwind advection + decay
+    /// + sources. No-flux boundaries (ghost cells mirror the edge value).
+    pub fn step(&self, field: &Field, sources: &Field) -> Result<Field> {
+        if field.width() != sources.width() || field.height() != sources.height() {
+            return Err(TissueError::Shape("field/source shape mismatch".into()));
+        }
+        let w = field.width();
+        let h = field.height();
+        let mut out = Field::zeros(w, h);
+        let alpha = self.d * self.dt / (self.dx * self.dx);
+        let (vx, vy) = self.velocity;
+        let cx = vx * self.dt / self.dx;
+        let cy = vy * self.dt / self.dx;
+        for y in 0..h {
+            for x in 0..w {
+                let c = field.get(x, y);
+                // No-flux: mirror edges.
+                let left = field.get(x.saturating_sub(1), y);
+                let right = field.get(if x + 1 < w { x + 1 } else { x }, y);
+                let down = field.get(x, y.saturating_sub(1));
+                let up = field.get(x, if y + 1 < h { y + 1 } else { y });
+                let lap = left + right + up + down - 4.0 * c;
+                // Upwind advection.
+                let adv_x = if vx >= 0.0 { c - left } else { right - c };
+                let adv_y = if vy >= 0.0 { c - down } else { up - c };
+                let mut v = c + alpha * lap - cx * adv_x - cy * adv_y
+                    - self.decay * self.dt * c
+                    + self.dt * sources.get(x, y);
+                // Concentrations cannot be negative (sources may be sinks).
+                if v < 0.0 {
+                    v = 0.0;
+                }
+                out.set(x, y, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run `n_steps` fine steps (the burst the surrogate short-circuits).
+    pub fn advance(&self, field: &Field, sources: &Field, n_steps: usize) -> Result<Field> {
+        let mut f = field.clone();
+        for _ in 0..n_steps {
+            f = self.step(&f, sources)?;
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_source_field(w: usize, h: usize) -> Field {
+        let mut f = Field::zeros(w, h);
+        f.set(w / 2, h / 2, 100.0);
+        f
+    }
+
+    #[test]
+    fn stability_validation() {
+        // dx=1, D=1 → dt must be ≤ 0.25.
+        assert!(DiffusionSolver::diffusion_only(1.0, 1.0, 0.3).is_err());
+        assert!(DiffusionSolver::diffusion_only(1.0, 1.0, 0.2).is_ok());
+        // Advective CFL.
+        assert!(DiffusionSolver::new(0.1, 1.0, 0.2, (5.0, 0.0), 0.0).is_err());
+        assert!(DiffusionSolver::new(0.1, 1.0, 0.05, (5.0, 0.0), 0.0).is_ok());
+        // Negative parameters.
+        assert!(DiffusionSolver::diffusion_only(-1.0, 1.0, 0.1).is_err());
+        assert!(DiffusionSolver::new(1.0, 1.0, 0.1, (0.0, 0.0), -0.5).is_err());
+    }
+
+    #[test]
+    fn mass_conserved_without_decay_or_sources() {
+        let solver = DiffusionSolver::diffusion_only(1.0, 1.0, 0.2).unwrap();
+        let f0 = point_source_field(16, 16);
+        let sources = Field::zeros(16, 16);
+        let f = solver.advance(&f0, &sources, 100).unwrap();
+        assert!(
+            (f.total() - f0.total()).abs() < 1e-9,
+            "no-flux diffusion conserves mass: {} -> {}",
+            f0.total(),
+            f.total()
+        );
+    }
+
+    #[test]
+    fn diffusion_spreads_the_peak() {
+        // Odd-sized grid so the point source has a true central site and
+        // the domain is mirror-symmetric about it.
+        let solver = DiffusionSolver::diffusion_only(1.0, 1.0, 0.2).unwrap();
+        let f0 = point_source_field(17, 17);
+        let sources = Field::zeros(17, 17);
+        let f = solver.advance(&f0, &sources, 50).unwrap();
+        assert!(f.max() < f0.max(), "peak must decay");
+        assert!(f.get(0, 0) > 0.0, "mass reaches the corner eventually");
+        // Symmetry about the center (8, 8).
+        assert!((f.get(7, 8) - f.get(9, 8)).abs() < 1e-9);
+        assert!((f.get(8, 7) - f.get(8, 9)).abs() < 1e-9);
+        assert!((f.get(0, 8) - f.get(16, 8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_field_is_stationary() {
+        let solver = DiffusionSolver::diffusion_only(1.0, 1.0, 0.2).unwrap();
+        let f0 = Field::filled(8, 8, 3.0);
+        let f = solver.advance(&f0, &Field::zeros(8, 8), 25).unwrap();
+        for y in 0..8 {
+            for x in 0..8 {
+                assert!((f.get(x, y) - 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn decay_reduces_mass_exponentially() {
+        let solver = DiffusionSolver::new(0.5, 1.0, 0.1, (0.0, 0.0), 0.2).unwrap();
+        let f0 = Field::filled(8, 8, 1.0);
+        let f = solver.advance(&f0, &Field::zeros(8, 8), 10).unwrap();
+        // After 10 steps of (1 - 0.02) decay: (0.98)^10 ≈ 0.817.
+        let expected = 64.0 * 0.98f64.powi(10);
+        assert!(
+            (f.total() - expected).abs() < 0.01 * expected,
+            "decayed mass {} vs expected {expected}",
+            f.total()
+        );
+    }
+
+    #[test]
+    fn sources_add_mass() {
+        let solver = DiffusionSolver::diffusion_only(0.5, 1.0, 0.2).unwrap();
+        let f0 = Field::zeros(8, 8);
+        let mut src = Field::zeros(8, 8);
+        src.set(4, 4, 10.0);
+        let f = solver.advance(&f0, &src, 5).unwrap();
+        // 5 steps × dt 0.2 × rate 10 = 10 units of mass.
+        assert!((f.total() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advection_moves_the_blob() {
+        let solver = DiffusionSolver::new(0.05, 1.0, 0.1, (2.0, 0.0), 0.0).unwrap();
+        let mut f0 = Field::zeros(32, 8);
+        f0.set(5, 4, 100.0);
+        let f = solver.advance(&f0, &Field::zeros(32, 8), 40).unwrap();
+        // Center of mass should have moved right by ~ v*t = 2.0*4.0 = 8.
+        let com = |fld: &Field| {
+            let mut m = 0.0;
+            let mut mx = 0.0;
+            for y in 0..8 {
+                for x in 0..32 {
+                    m += fld.get(x, y);
+                    mx += x as f64 * fld.get(x, y);
+                }
+            }
+            mx / m
+        };
+        let shift = com(&f) - com(&f0);
+        assert!(
+            (shift - 8.0).abs() < 2.0,
+            "advection shift {shift}, expected ≈8 (upwind diffusion tolerated)"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let solver = DiffusionSolver::diffusion_only(1.0, 1.0, 0.2).unwrap();
+        let f = Field::zeros(8, 8);
+        let src = Field::zeros(4, 4);
+        assert!(solver.step(&f, &src).is_err());
+    }
+}

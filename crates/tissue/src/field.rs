@@ -1,0 +1,224 @@
+//! A 2-D scalar field on a regular lattice, with the resampling helpers the
+//! coarse-graining surrogate needs.
+
+use crate::{Result, TissueError};
+
+/// Row-major 2-D scalar field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl Field {
+    /// Uniform field.
+    pub fn filled(width: usize, height: usize, value: f64) -> Self {
+        Self {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Zero field.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self::filled(width, height, 0.0)
+    }
+
+    /// Build from raw data; length must equal `width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != width * height {
+            return Err(TissueError::Shape(format!(
+                "{}x{} field needs {} values, got {}",
+                width,
+                height,
+                width * height,
+                data.len()
+            )));
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Width in cells.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in cells.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Value at (x, y).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Set value at (x, y).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Add to value at (x, y).
+    #[inline]
+    pub fn add(&mut self, x: usize, y: usize, v: f64) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] += v;
+    }
+
+    /// Raw slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Total mass (sum over cells).
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> f64 {
+        self.data.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f64 {
+        self.data.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// RMS difference against another field of the same shape.
+    pub fn rmse(&self, other: &Field) -> Result<f64> {
+        if self.width != other.width || self.height != other.height {
+            return Err(TissueError::Shape("field shape mismatch".into()));
+        }
+        let ss: f64 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        Ok((ss / self.data.len() as f64).sqrt())
+    }
+
+    /// Downsample by block averaging. `factor` must divide both dimensions.
+    pub fn downsample(&self, factor: usize) -> Result<Field> {
+        if factor == 0 || !self.width.is_multiple_of(factor) || !self.height.is_multiple_of(factor) {
+            return Err(TissueError::Shape(format!(
+                "factor {factor} must divide {}x{}",
+                self.width, self.height
+            )));
+        }
+        let w = self.width / factor;
+        let h = self.height / factor;
+        let mut out = Field::zeros(w, h);
+        let norm = 1.0 / (factor * factor) as f64;
+        for cy in 0..h {
+            for cx in 0..w {
+                let mut acc = 0.0;
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        acc += self.get(cx * factor + dx, cy * factor + dy);
+                    }
+                }
+                out.set(cx, cy, acc * norm);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Upsample by nearest-neighbor block replication (the inverse layout of
+    /// [`Field::downsample`]).
+    pub fn upsample(&self, factor: usize) -> Field {
+        let mut out = Field::zeros(self.width * factor, self.height * factor);
+        for y in 0..out.height {
+            for x in 0..out.width {
+                out.set(x, y, self.get(x / factor, y / factor));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut f = Field::zeros(4, 3);
+        assert_eq!(f.width(), 4);
+        assert_eq!(f.height(), 3);
+        f.set(2, 1, 5.0);
+        assert_eq!(f.get(2, 1), 5.0);
+        f.add(2, 1, 1.5);
+        assert_eq!(f.get(2, 1), 6.5);
+        assert_eq!(f.total(), 6.5);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Field::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Field::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn min_max() {
+        let f = Field::from_vec(2, 2, vec![1.0, -3.0, 5.0, 0.0]).unwrap();
+        assert_eq!(f.min(), -3.0);
+        assert_eq!(f.max(), 5.0);
+    }
+
+    #[test]
+    fn rmse_known() {
+        let a = Field::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        let b = Field::from_vec(2, 1, vec![0.0, 4.0]).unwrap();
+        assert!((a.rmse(&b).unwrap() - (2.5f64).sqrt()).abs() < 1e-12);
+        let c = Field::zeros(3, 1);
+        assert!(a.rmse(&c).is_err());
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let f = Field::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        let d = f.downsample(2).unwrap();
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.height(), 1);
+        assert_eq!(d.get(0, 0), (1.0 + 2.0 + 5.0 + 6.0) / 4.0);
+        assert_eq!(d.get(1, 0), (3.0 + 4.0 + 7.0 + 8.0) / 4.0);
+        // Mean conserved.
+        assert!((d.total() * 4.0 - f.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample_validates_factor() {
+        let f = Field::zeros(4, 4);
+        assert!(f.downsample(0).is_err());
+        assert!(f.downsample(3).is_err());
+        assert!(f.downsample(2).is_ok());
+    }
+
+    #[test]
+    fn upsample_downsample_roundtrip() {
+        let f = Field::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let up = f.upsample(3);
+        assert_eq!(up.width(), 6);
+        assert_eq!(up.get(0, 0), 1.0);
+        assert_eq!(up.get(5, 5), 4.0);
+        let back = up.downsample(3).unwrap();
+        assert_eq!(back, f);
+    }
+}

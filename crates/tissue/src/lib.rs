@@ -1,0 +1,61 @@
+// Indexed loops over small fixed dimensions (k in 0..3, stencils) are the
+// clearer idiom in numeric kernels; silence the pedantic lint crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+//! `le-tissue` — the virtual-tissue substrate (§II-B of the paper).
+//!
+//! Virtual Tissue simulations are "mechanism-based multiscale spatial
+//! simulations of living tissues"; their cost is dominated by transport:
+//! "Modeling transport and diffusion is compute intensive". The paper's
+//! AI-for-VT list includes "Short-circuiting: the replacement of
+//! computationally costly modules with learned analogues" and "the
+//! elimination of short time scales, e.g., short-circuit the calculations
+//! of advection-diffusion" — which is exactly experiment E9.
+//!
+//! * [`field`] — a 2-D scalar field with no-flux boundaries.
+//! * [`diffusion`] — explicit FTCS advection–diffusion with a CFL stability
+//!   guard; the *fine-timescale inner module* of the tissue model.
+//! * [`cell`] — lattice cell agents that consume nutrient, gain energy,
+//!   divide and die; the *slow outer module*.
+//! * [`vt`] — the coupled model: each tissue step runs many fine diffusion
+//!   steps, then one cell update.
+//! * [`surrogate_grid`] — the learned analogue: an MLP maps the
+//!   coarse-grained field (plus source summary) directly to the
+//!   coarse-grained field after the full fine-step burst, eliminating the
+//!   short timescale.
+
+pub mod cell;
+pub mod diffusion;
+pub mod field;
+pub mod surrogate_grid;
+pub mod vt;
+
+pub use diffusion::DiffusionSolver;
+pub use field::Field;
+pub use vt::{TissueModel, TissueConfig};
+
+/// Errors from the tissue crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TissueError {
+    /// Configuration is invalid (e.g. violates the CFL condition).
+    InvalidConfig(String),
+    /// Shape/size mismatch.
+    Shape(String),
+    /// Wrapped NN error.
+    Model(String),
+}
+
+impl std::fmt::Display for TissueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TissueError::InvalidConfig(s) => write!(f, "invalid config: {s}"),
+            TissueError::Shape(s) => write!(f, "shape error: {s}"),
+            TissueError::Model(s) => write!(f, "model error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TissueError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, TissueError>;

@@ -1,0 +1,155 @@
+//! Acquisition strategies for active learning (E5).
+//!
+//! The paper (§II-C2, ref [34]) highlights active learning that "reduced the
+//! amount of required training data to 10% of the original model by
+//! iteratively adding training data calculations for regions of chemical
+//! space where the current ML model could not make good predictions". These
+//! strategies decide *which* candidate simulations to run next.
+
+use crate::UncertainModel;
+
+/// How to score candidate inputs for acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquisitionStrategy {
+    /// Highest predictive uncertainty first (max per-output std).
+    MaxUncertainty,
+    /// Uniform random selection — the baseline active learning must beat.
+    Random,
+}
+
+/// Select `k` candidate indices from `candidates` according to `strategy`.
+///
+/// * `MaxUncertainty` scores every candidate with one UQ evaluation and
+///   takes the top `k`.
+/// * `Random` draws `k` distinct indices with the provided seed.
+///
+/// Returns indices into `candidates`, highest priority first.
+pub fn select_batch<M: UncertainModel>(
+    model: &mut M,
+    candidates: &[Vec<f64>],
+    k: usize,
+    strategy: AcquisitionStrategy,
+    seed: u64,
+) -> Vec<usize> {
+    let k = k.min(candidates.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    match strategy {
+        AcquisitionStrategy::Random => {
+            let mut rng = le_linalg::Rng::new(seed);
+            rng.sample_indices(candidates.len(), k)
+        }
+        AcquisitionStrategy::MaxUncertainty => {
+            let mut scored: Vec<(usize, f64)> = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, x)| (i, model.predict_with_uncertainty(x).max_std()))
+                .collect();
+            // Descending by uncertainty; ties broken by index for
+            // determinism.
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            scored.into_iter().take(k).map(|(i, _)| i).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prediction;
+
+    /// Deterministic fake: uncertainty equals |x[0]|.
+    struct FakeModel;
+
+    impl UncertainModel for FakeModel {
+        fn predict_with_uncertainty(&mut self, x: &[f64]) -> Prediction {
+            Prediction {
+                mean: vec![0.0],
+                std: vec![x[0].abs()],
+            }
+        }
+        fn predict_point(&self, _x: &[f64]) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn out_dim(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn max_uncertainty_picks_most_uncertain() {
+        let candidates = vec![vec![0.1], vec![5.0], vec![2.0], vec![0.5]];
+        let picked = select_batch(
+            &mut FakeModel,
+            &candidates,
+            2,
+            AcquisitionStrategy::MaxUncertainty,
+            0,
+        );
+        assert_eq!(picked, vec![1, 2]);
+    }
+
+    #[test]
+    fn random_returns_distinct_valid_indices() {
+        let candidates: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let picked = select_batch(
+            &mut FakeModel,
+            &candidates,
+            8,
+            AcquisitionStrategy::Random,
+            42,
+        );
+        assert_eq!(picked.len(), 8);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert!(picked.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn k_larger_than_pool_is_clamped() {
+        let candidates = vec![vec![1.0], vec![2.0]];
+        for strat in [
+            AcquisitionStrategy::MaxUncertainty,
+            AcquisitionStrategy::Random,
+        ] {
+            let picked = select_batch(&mut FakeModel, &candidates, 10, strat, 1);
+            assert_eq!(picked.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_pool_or_zero_k() {
+        assert!(select_batch(
+            &mut FakeModel,
+            &[],
+            3,
+            AcquisitionStrategy::MaxUncertainty,
+            0
+        )
+        .is_empty());
+        let candidates = vec![vec![1.0]];
+        assert!(
+            select_batch(&mut FakeModel, &candidates, 0, AcquisitionStrategy::Random, 0).is_empty()
+        );
+    }
+
+    #[test]
+    fn ties_broken_by_index_for_determinism() {
+        let candidates = vec![vec![1.0], vec![-1.0], vec![1.0]];
+        let picked = select_batch(
+            &mut FakeModel,
+            &candidates,
+            3,
+            AcquisitionStrategy::MaxUncertainty,
+            0,
+        );
+        assert_eq!(picked, vec![0, 1, 2]);
+    }
+}

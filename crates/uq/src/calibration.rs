@@ -1,0 +1,158 @@
+//! Calibration diagnostics for UQ methods.
+//!
+//! Research issue 10 of the paper: "two models with different dropout rates
+//! can produce different UQ results" — so the quality of a UQ method must be
+//! *measured*, not assumed. The standard measurement for regression UQ is
+//! interval coverage: a well-calibrated predictor's nominal q-probability
+//! central interval should contain the truth a fraction q of the time.
+
+use crate::Prediction;
+
+use crate::interval::z_for as z_for_coverage;
+
+/// Fraction of targets inside each prediction's nominal-q central interval,
+/// for a single output dimension `dim`.
+pub fn coverage(preds: &[Prediction], targets: &[Vec<f64>], dim: usize, q: f64) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "preds/targets length mismatch");
+    assert!(!preds.is_empty(), "coverage of empty set");
+    let z = z_for_coverage(q);
+    let inside = preds
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| {
+            let (lo, hi) = (p.mean[dim] - z * p.std[dim], p.mean[dim] + z * p.std[dim]);
+            (lo..=hi).contains(&t[dim])
+        })
+        .count();
+    inside as f64 / preds.len() as f64
+}
+
+/// A full reliability summary across a grid of nominal coverage levels.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// Nominal coverage levels probed.
+    pub nominal: Vec<f64>,
+    /// Observed coverage at each level.
+    pub observed: Vec<f64>,
+    /// Mean absolute calibration error across levels.
+    pub mace: f64,
+    /// Mean predicted std (sharpness; smaller is sharper).
+    pub sharpness: f64,
+}
+
+/// Compute observed coverage over the standard grid {0.1, …, 0.9} and the
+/// mean absolute calibration error, for output dimension `dim`.
+pub fn calibration_error(preds: &[Prediction], targets: &[Vec<f64>], dim: usize) -> CalibrationReport {
+    let nominal: Vec<f64> = (1..10).map(|i| i as f64 / 10.0).collect();
+    let observed: Vec<f64> = nominal
+        .iter()
+        .map(|&q| coverage(preds, targets, dim, q))
+        .collect();
+    let mace = nominal
+        .iter()
+        .zip(observed.iter())
+        .map(|(&n, &o)| (n - o).abs())
+        .sum::<f64>()
+        / nominal.len() as f64;
+    let sharpness =
+        preds.iter().map(|p| p.std[dim]).sum::<f64>() / preds.len().max(1) as f64;
+    CalibrationReport {
+        nominal,
+        observed,
+        mace,
+        sharpness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use le_linalg::Rng;
+
+    /// Build synthetic predictions with controllable honesty: the truth is
+    /// mean + noise_scale * std * gaussian. noise_scale = 1 -> perfectly
+    /// calibrated; < 1 -> over-conservative; > 1 -> over-confident.
+    fn synthetic(n: usize, noise_scale: f64, seed: u64) -> (Vec<Prediction>, Vec<Vec<f64>>) {
+        let mut rng = Rng::new(seed);
+        let mut preds = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mean = rng.uniform_in(-5.0, 5.0);
+            let std = rng.uniform_in(0.5, 2.0);
+            let t = mean + noise_scale * std * rng.gaussian();
+            preds.push(Prediction {
+                mean: vec![mean],
+                std: vec![std],
+            });
+            targets.push(vec![t]);
+        }
+        (preds, targets)
+    }
+
+    #[test]
+    fn z_for_coverage_known_values() {
+        // 68% -> ~1.0, 95% -> ~1.96, 50% -> ~0.674
+        assert!((z_for_coverage(0.6827) - 1.0).abs() < 0.02);
+        assert!((z_for_coverage(0.95) - 1.96).abs() < 0.03);
+        assert!((z_for_coverage(0.5) - 0.6745).abs() < 0.02);
+    }
+
+    #[test]
+    fn perfectly_calibrated_has_low_mace() {
+        let (preds, targets) = synthetic(20_000, 1.0, 61);
+        let report = calibration_error(&preds, &targets, 0);
+        assert!(report.mace < 0.02, "calibrated MACE {}", report.mace);
+        // Observed coverage tracks nominal at every level.
+        for (n, o) in report.nominal.iter().zip(report.observed.iter()) {
+            assert!((n - o).abs() < 0.03, "nominal {n} observed {o}");
+        }
+    }
+
+    #[test]
+    fn overconfident_predictor_undercovers() {
+        let (preds, targets) = synthetic(10_000, 2.0, 62);
+        let report = calibration_error(&preds, &targets, 0);
+        // True spread is twice the predicted std: observed < nominal.
+        for (n, o) in report.nominal.iter().zip(report.observed.iter()) {
+            assert!(o < n, "overconfident: observed {o} should be < nominal {n}");
+        }
+        assert!(report.mace > 0.1);
+    }
+
+    #[test]
+    fn conservative_predictor_overcovers() {
+        let (preds, targets) = synthetic(10_000, 0.5, 63);
+        let report = calibration_error(&preds, &targets, 0);
+        for (n, o) in report.nominal.iter().zip(report.observed.iter()) {
+            assert!(o > n, "conservative: observed {o} should be > nominal {n}");
+        }
+    }
+
+    #[test]
+    fn sharpness_is_mean_std() {
+        let preds = vec![
+            Prediction {
+                mean: vec![0.0],
+                std: vec![1.0],
+            },
+            Prediction {
+                mean: vec![0.0],
+                std: vec![3.0],
+            },
+        ];
+        let targets = vec![vec![0.0], vec![0.0]];
+        let report = calibration_error(&preds, &targets, 0);
+        assert!((report.sharpness - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_zero_std_exact_hit() {
+        let preds = vec![Prediction {
+            mean: vec![1.0],
+            std: vec![0.0],
+        }];
+        // Exact match is inside the degenerate interval; any miss is outside.
+        assert_eq!(coverage(&preds, &[vec![1.0]], 0, 0.9), 1.0);
+        assert_eq!(coverage(&preds, &[vec![1.1]], 0, 0.9), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Prediction intervals: normal-theory and empirical (sample-quantile)
+//! central intervals from MC samples, plus the width/coverage summary used
+//! when choosing the hybrid engine's gate threshold.
+
+use le_linalg::Matrix;
+
+/// A central prediction interval for one output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal coverage the interval was built for.
+    pub nominal: f64,
+}
+
+impl Interval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether a value falls inside (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// Normal-theory central interval from a mean and std: `mean ± z(q)·std`.
+pub fn normal_interval(mean: f64, std: f64, nominal: f64) -> Interval {
+    let z = z_for(nominal);
+    Interval {
+        lo: mean - z * std,
+        hi: mean + z * std,
+        nominal,
+    }
+}
+
+/// Empirical central interval from raw MC samples of one output (a column
+/// of the `(n_samples, out_dim)` matrix produced by
+/// [`crate::McDropout::sample`]): the `(1±q)/2` sample quantiles.
+pub fn empirical_interval(samples: &Matrix, output: usize, nominal: f64) -> Interval {
+    assert!(samples.rows() >= 2, "need at least 2 MC samples");
+    assert!(output < samples.cols());
+    let mut col: Vec<f64> = (0..samples.rows()).map(|r| samples.get(r, output)).collect();
+    col.sort_by(|a, b| a.total_cmp(b));
+    let q_lo = (1.0 - nominal) / 2.0;
+    let q_hi = 1.0 - q_lo;
+    let pick = |q: f64| {
+        let pos = q * (col.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        col[lo] * (1.0 - frac) + col[hi] * frac
+    };
+    Interval {
+        lo: pick(q_lo),
+        hi: pick(q_hi),
+        nominal,
+    }
+}
+
+/// z-score of the central normal interval with the given coverage
+/// (Winitzki's inverse-erf approximation; ~2e-3 accuracy in z).
+pub fn z_for(nominal: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&nominal));
+    let p = 0.5 + nominal / 2.0;
+    let x = 2.0 * p - 1.0;
+    let a = 0.147;
+    let ln_term = (1.0 - x * x).ln();
+    let t1 = 2.0 / (std::f64::consts::PI * a) + ln_term / 2.0;
+    let inv_erf = x.signum() * ((t1 * t1 - ln_term / a).sqrt() - t1).sqrt();
+    std::f64::consts::SQRT_2 * inv_erf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use le_linalg::Rng;
+
+    #[test]
+    fn normal_interval_symmetric_and_monotone_in_coverage() {
+        let i68 = normal_interval(2.0, 1.0, 0.6827);
+        assert!((i68.lo - 1.0).abs() < 0.03);
+        assert!((i68.hi - 3.0).abs() < 0.03);
+        let i95 = normal_interval(2.0, 1.0, 0.95);
+        assert!(i95.width() > i68.width());
+        assert!(i95.contains(2.0) && !i95.contains(6.0));
+    }
+
+    #[test]
+    fn zero_std_degenerates_to_a_point() {
+        let i = normal_interval(1.5, 0.0, 0.9);
+        assert_eq!(i.lo, 1.5);
+        assert_eq!(i.hi, 1.5);
+        assert!(i.contains(1.5));
+        assert!(!i.contains(1.5001));
+    }
+
+    #[test]
+    fn empirical_interval_covers_gaussian_samples_correctly() {
+        let mut rng = Rng::new(7);
+        let n = 20_000;
+        let mut m = Matrix::zeros(n, 1);
+        for r in 0..n {
+            m.set(r, 0, 3.0 + 2.0 * rng.gaussian());
+        }
+        let emp = empirical_interval(&m, 0, 0.9);
+        let norm = normal_interval(3.0, 2.0, 0.9);
+        assert!((emp.lo - norm.lo).abs() < 0.1, "{} vs {}", emp.lo, norm.lo);
+        assert!((emp.hi - norm.hi).abs() < 0.1, "{} vs {}", emp.hi, norm.hi);
+    }
+
+    #[test]
+    fn empirical_interval_on_skewed_samples_is_asymmetric() {
+        // Exponential samples: the empirical interval must be asymmetric
+        // about the mean while the normal one is symmetric — the reason to
+        // prefer empirical intervals for non-Gaussian predictive
+        // distributions.
+        let mut rng = Rng::new(8);
+        let n = 20_000;
+        let mut m = Matrix::zeros(n, 1);
+        let mut mean = 0.0;
+        for r in 0..n {
+            let v = rng.exponential(1.0);
+            m.set(r, 0, v);
+            mean += v;
+        }
+        mean /= n as f64;
+        let emp = empirical_interval(&m, 0, 0.9);
+        let below = mean - emp.lo;
+        let above = emp.hi - mean;
+        assert!(above > 1.5 * below, "skew: above {above}, below {below}");
+    }
+
+    #[test]
+    fn z_for_known_values() {
+        assert!((z_for(0.6827) - 1.0).abs() < 0.02);
+        assert!((z_for(0.95) - 1.96).abs() < 0.03);
+        assert!((z_for(0.99) - 2.576).abs() < 0.05);
+    }
+}

@@ -1,0 +1,109 @@
+//! `le-uq` — uncertainty quantification for learned surrogates (§III-B).
+//!
+//! A learned surrogate must report not just the result of a simulation but
+//! *the uncertainty of the prediction*, because the hybrid engine serves a
+//! prediction only when it is "valid enough to be used". This crate provides
+//! the two UQ families the paper discusses:
+//!
+//! * [`mc_dropout`] — dropout re-interpreted as an ensemble over thinned
+//!   networks (Gal & Ghahramani, paper ref \[43\]): repeated stochastic
+//!   forward passes form a predictive distribution.
+//! * [`ensemble`] — deep ensembles: independently initialized and trained
+//!   networks whose spread estimates epistemic uncertainty. The paper's
+//!   research issue 10 notes dropout UQ depends on the dropout rate and asks
+//!   for more reliable alternatives; the ensemble is that alternative and
+//!   the E11 ablation compares the two.
+//! * [`calibration`] — reliability diagnostics: observed coverage of
+//!   predicted intervals vs. nominal, and the calibration error summary.
+//! * [`acquisition`] — uncertainty-driven sample selection for the active
+//!   learning loop (E5): pick the candidate simulations where the surrogate
+//!   is least certain.
+
+pub mod acquisition;
+pub mod calibration;
+pub mod ensemble;
+pub mod interval;
+pub mod mc_dropout;
+
+pub use acquisition::{select_batch, AcquisitionStrategy};
+pub use calibration::{calibration_error, coverage, CalibrationReport};
+pub use ensemble::DeepEnsemble;
+pub use interval::{empirical_interval, normal_interval, Interval};
+pub use mc_dropout::McDropout;
+
+/// A predictive distribution summary for one input: per-output mean and
+/// standard deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predictive mean, one entry per model output.
+    pub mean: Vec<f64>,
+    /// Predictive standard deviation, one entry per model output.
+    pub std: Vec<f64>,
+}
+
+impl Prediction {
+    /// Largest per-output standard deviation — the scalar the hybrid engine
+    /// gates on.
+    pub fn max_std(&self) -> f64 {
+        self.std.iter().fold(0.0f64, |m, &s| m.max(s))
+    }
+
+    /// Mean standard deviation across outputs.
+    pub fn mean_std(&self) -> f64 {
+        if self.std.is_empty() {
+            return 0.0;
+        }
+        self.std.iter().sum::<f64>() / self.std.len() as f64
+    }
+
+    /// Central interval `mean ± z * std` for each output.
+    pub fn interval(&self, z: f64) -> Vec<(f64, f64)> {
+        self.mean
+            .iter()
+            .zip(self.std.iter())
+            .map(|(&m, &s)| (m - z * s, m + z * s))
+            .collect()
+    }
+}
+
+/// Common interface over MC-dropout and deep-ensemble predictors, so the
+/// hybrid engine and the acquisition functions are generic over the UQ
+/// method.
+pub trait UncertainModel {
+    /// Predict mean and standard deviation for a single (scaled) input.
+    fn predict_with_uncertainty(&mut self, x: &[f64]) -> Prediction;
+
+    /// Deterministic point prediction (no UQ overhead).
+    fn predict_point(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Output dimensionality.
+    fn out_dim(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_interval_and_summaries() {
+        let p = Prediction {
+            mean: vec![1.0, -2.0],
+            std: vec![0.5, 2.0],
+        };
+        assert_eq!(p.max_std(), 2.0);
+        assert!((p.mean_std() - 1.25).abs() < 1e-12);
+        let iv = p.interval(2.0);
+        assert_eq!(iv[0], (0.0, 2.0));
+        assert_eq!(iv[1], (-6.0, 2.0));
+    }
+
+    #[test]
+    fn empty_prediction_mean_std_is_zero() {
+        let p = Prediction {
+            mean: vec![],
+            std: vec![],
+        };
+        assert_eq!(p.mean_std(), 0.0);
+        assert_eq!(p.max_std(), 0.0);
+    }
+}

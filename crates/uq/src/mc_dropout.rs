@@ -1,0 +1,229 @@
+//! MC-dropout: "a set of differently thinned versions of the network can
+//! form a sample distribution of predictions to be used as a UQ metric"
+//! (§III-B). A trained dropout network is sampled `n_samples` times with
+//! dropout *kept on*; the sample mean/std form the predictive distribution.
+
+use le_linalg::{Matrix, Rng};
+use le_nn::Mlp;
+
+use crate::{Prediction, UncertainModel};
+
+/// MC-dropout wrapper around a trained [`Mlp`] with a nonzero dropout rate.
+#[derive(Debug, Clone)]
+pub struct McDropout {
+    model: Mlp,
+    /// Number of stochastic forward passes per prediction.
+    pub n_samples: usize,
+    rng: Rng,
+}
+
+impl McDropout {
+    /// Wrap a trained model. `n_samples` is clamped to at least 2 (a std
+    /// needs two points); 30–100 is typical.
+    pub fn new(model: Mlp, n_samples: usize, seed: u64) -> Self {
+        Self {
+            model,
+            n_samples: n_samples.max(2),
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Mlp {
+        &self.model
+    }
+
+    /// Replace the wrapped model (after retraining in the active loop).
+    pub fn set_model(&mut self, model: Mlp) {
+        self.model = model;
+    }
+
+    /// Raw MC samples for one input: an `(n_samples, out_dim)` matrix.
+    pub fn sample(&mut self, x: &[f64]) -> Matrix {
+        let xm = Matrix::from_vec(1, x.len(), x.to_vec()).expect("1-row input");
+        let out_dim = self.model.out_dim();
+        let mut samples = Matrix::zeros(self.n_samples, out_dim);
+        for i in 0..self.n_samples {
+            let y = self
+                .model
+                .predict_mc(&xm, &mut self.rng)
+                .expect("shape checked by caller");
+            samples.row_mut(i).copy_from_slice(y.row(0));
+        }
+        samples
+    }
+
+    /// Predict mean/std for a whole batch at once (rows of `x`).
+    pub fn predict_batch(&mut self, x: &Matrix) -> Vec<Prediction> {
+        let out_dim = self.model.out_dim();
+        let mut sums = vec![vec![0.0; out_dim]; x.rows()];
+        let mut sq_sums = vec![vec![0.0; out_dim]; x.rows()];
+        for _ in 0..self.n_samples {
+            let y = self
+                .model
+                .predict_mc(x, &mut self.rng)
+                .expect("shape checked by caller");
+            for r in 0..x.rows() {
+                for (c, &v) in y.row(r).iter().enumerate() {
+                    sums[r][c] += v;
+                    sq_sums[r][c] += v * v;
+                }
+            }
+        }
+        let n = self.n_samples as f64;
+        (0..x.rows())
+            .map(|r| {
+                let mean: Vec<f64> = sums[r].iter().map(|&s| s / n).collect();
+                let std: Vec<f64> = sq_sums[r]
+                    .iter()
+                    .zip(mean.iter())
+                    // Sample variance with Bessel correction, floored at 0
+                    // against rounding.
+                    .map(|(&sq, &m)| (((sq - n * m * m) / (n - 1.0)).max(0.0)).sqrt())
+                    .collect();
+                Prediction { mean, std }
+            })
+            .collect()
+    }
+}
+
+impl UncertainModel for McDropout {
+    fn predict_with_uncertainty(&mut self, x: &[f64]) -> Prediction {
+        let samples = self.sample(x);
+        let n = samples.rows() as f64;
+        let out_dim = samples.cols();
+        let mut mean = vec![0.0; out_dim];
+        for r in 0..samples.rows() {
+            for (m, &v) in mean.iter_mut().zip(samples.row(r).iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; out_dim];
+        for r in 0..samples.rows() {
+            for ((s, &v), &m) in std.iter_mut().zip(samples.row(r).iter()).zip(mean.iter()) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / (n - 1.0)).sqrt();
+        }
+        Prediction { mean, std }
+    }
+
+    fn predict_point(&self, x: &[f64]) -> Vec<f64> {
+        self.model.predict_one(x).expect("shape checked by caller")
+    }
+
+    fn out_dim(&self) -> usize {
+        self.model.out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use le_nn::{MlpConfig, TrainConfig, Trainer};
+
+    fn trained_dropout_net(seed: u64, dropout: f64) -> Mlp {
+        // Train y = x0 + x1 on [-1,1]^2.
+        let mut rng = Rng::new(seed);
+        let n = 256;
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Matrix::zeros(n, 1);
+        for i in 0..n {
+            let a = rng.uniform_in(-1.0, 1.0);
+            let b = rng.uniform_in(-1.0, 1.0);
+            x.set(i, 0, a);
+            x.set(i, 1, b);
+            y.set(i, 0, a + b);
+        }
+        let mut model = Mlp::new(
+            MlpConfig::regression_with_dropout(&[2, 32, 32, 1], dropout),
+            &mut rng,
+        )
+        .unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 150,
+            ..Default::default()
+        });
+        trainer.fit(&mut model, &x, &y).unwrap();
+        model
+    }
+
+    #[test]
+    fn mean_tracks_point_prediction() {
+        let model = trained_dropout_net(21, 0.1);
+        let mut mc = McDropout::new(model, 200, 7);
+        let x = [0.3, -0.2];
+        let p = mc.predict_with_uncertainty(&x);
+        let point = mc.predict_point(&x);
+        // MC mean should be close to the deterministic prediction.
+        assert!(
+            (p.mean[0] - point[0]).abs() < 3.0 * p.std[0] / (200f64).sqrt() + 0.05,
+            "mc mean {} vs point {}",
+            p.mean[0],
+            point[0]
+        );
+    }
+
+    #[test]
+    fn nonzero_dropout_gives_nonzero_std() {
+        let model = trained_dropout_net(22, 0.2);
+        let mut mc = McDropout::new(model, 50, 8);
+        let p = mc.predict_with_uncertainty(&[0.1, 0.1]);
+        assert!(p.std[0] > 0.0, "dropout must induce spread");
+    }
+
+    #[test]
+    fn zero_dropout_gives_zero_std() {
+        let model = trained_dropout_net(23, 0.0);
+        let mut mc = McDropout::new(model, 20, 9);
+        let p = mc.predict_with_uncertainty(&[0.1, 0.1]);
+        assert!(p.std[0] < 1e-12, "no dropout = deterministic net, got {}", p.std[0]);
+    }
+
+    #[test]
+    fn extrapolation_is_more_uncertain_than_interpolation() {
+        // Trained on [-1,1]^2; probe inside vs far outside.
+        let model = trained_dropout_net(24, 0.25);
+        let mut mc = McDropout::new(model, 200, 10);
+        let inside = mc.predict_with_uncertainty(&[0.0, 0.0]).std[0];
+        let outside = mc.predict_with_uncertainty(&[4.0, 4.0]).std[0];
+        assert!(
+            outside > inside,
+            "extrapolation std {outside} should exceed interpolation std {inside}"
+        );
+    }
+
+    #[test]
+    fn batch_prediction_matches_single() {
+        let model = trained_dropout_net(25, 0.15);
+        // Use large sample counts; compare statistically.
+        let mut mc_a = McDropout::new(model.clone(), 400, 11);
+        let mut mc_b = McDropout::new(model, 400, 11);
+        let x = Matrix::from_rows(&[&[0.2, 0.4], &[-0.5, 0.1]]);
+        let batch = mc_b.predict_batch(&x);
+        let single0 = mc_a.predict_with_uncertainty(&[0.2, 0.4]);
+        assert!((batch[0].mean[0] - single0.mean[0]).abs() < 0.05);
+        assert!((batch[0].std[0] - single0.std[0]).abs() < 0.03);
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn n_samples_clamped_to_two() {
+        let model = trained_dropout_net(26, 0.1);
+        let mc = McDropout::new(model, 0, 12);
+        assert_eq!(mc.n_samples, 2);
+    }
+
+    #[test]
+    fn sample_matrix_shape() {
+        let model = trained_dropout_net(27, 0.1);
+        let mut mc = McDropout::new(model, 17, 13);
+        let s = mc.sample(&[0.0, 0.0]);
+        assert_eq!(s.shape(), (17, 1));
+    }
+}

@@ -1,0 +1,132 @@
+//! MLautotuning (§I + §III-D, ref [9]): learn the largest stable MD
+//! timestep as a function of the physical parameters, so production runs
+//! execute "at the optimal speed while retaining the accuracy of the final
+//! result". The expensive label generator — a stability search over
+//! timesteps, each probe a real MD run — is exactly what the trained net
+//! amortizes away.
+//!
+//! ```sh
+//! cargo run --release --example autotune_md
+//! ```
+
+use le_linalg::Rng;
+use le_mdsim::nanoconfinement::{NanoParams, SimConfig};
+use le_mdsim::NanoSim;
+use learning_everywhere::autotune::{label_examples, Autotuner, TuningProblem};
+use learning_everywhere::surrogate::SurrogateConfig;
+use learning_everywhere::Result;
+
+/// The tuning problem: parameters (h, z_p, z_n, c, d) → max stable dt.
+struct MdTimestepTuning {
+    /// Candidate timesteps, descending.
+    dt_grid: Vec<f64>,
+}
+
+impl MdTimestepTuning {
+    fn new() -> Self {
+        Self {
+            dt_grid: vec![0.04, 0.03, 0.02, 0.015, 0.01, 0.007, 0.005],
+        }
+    }
+
+    fn probe_config(dt: f64) -> SimConfig {
+        SimConfig {
+            dt,
+            equil_steps: 150,
+            prod_steps: 400,
+            ..SimConfig::fast()
+        }
+    }
+}
+
+impl TuningProblem for MdTimestepTuning {
+    fn param_dim(&self) -> usize {
+        5
+    }
+
+    fn config_dim(&self) -> usize {
+        1
+    }
+
+    fn search_optimal(&self, params: &[f64]) -> Result<Vec<f64>> {
+        let p = NanoParams::from_features(params)
+            .map_err(|e| learning_everywhere::LeError::Simulation(e.to_string()))?;
+        // Walk the grid from aggressive to conservative; first stable probe
+        // wins. Each probe is a real (short) MD run.
+        for &dt in &self.dt_grid {
+            let sim = NanoSim::new(Self::probe_config(dt));
+            if sim.run(&p, 99).is_ok() {
+                return Ok(vec![dt]);
+            }
+        }
+        Ok(vec![*self.dt_grid.last().expect("non-empty grid")])
+    }
+
+    fn safe_default(&self) -> Vec<f64> {
+        vec![*self.dt_grid.last().expect("non-empty grid")]
+    }
+}
+
+fn main() {
+    let problem = MdTimestepTuning::new();
+    let mut rng = Rng::new(4242);
+
+    // Offline labelling campaign (parallel; this is the expensive part the
+    // paper's 28M-CPU-hour anecdote refers to).
+    let n_labels = 60;
+    println!("labelling {n_labels} parameter points by stability search…");
+    let params: Vec<Vec<f64>> = (0..n_labels)
+        .map(|_| NanoParams::sample(&mut rng).to_features().to_vec())
+        .collect();
+    let t0 = std::time::Instant::now();
+    let examples = label_examples(&problem, &params).expect("searches run");
+    let search_time = t0.elapsed().as_secs_f64() / n_labels as f64;
+    println!("  {:.2}s per label (includes several probe MD runs)", search_time);
+
+    // Train the autotuner.
+    let mut tuner = Autotuner::fit(
+        &examples,
+        problem.safe_default(),
+        &SurrogateConfig {
+            hidden: vec![30, 48], // the companion paper's architecture
+            dropout: 0.05,
+            epochs: 300,
+            mc_samples: 25,
+            ..Default::default()
+        },
+        0.02,
+    )
+    .expect("enough examples");
+
+    // Compare against the search on fresh points.
+    println!("\nparams (h, zp, zn, c, d)        searched dt   suggested dt   learned?");
+    let mut suggest_time = 0.0;
+    let mut n_eval = 0;
+    let mut agreements = 0;
+    for _ in 0..10 {
+        let p = NanoParams::sample(&mut rng);
+        let feats = p.to_features().to_vec();
+        let truth = problem.search_optimal(&feats).expect("search")[0];
+        let t1 = std::time::Instant::now();
+        let s = tuner.suggest(&feats).expect("5 features");
+        suggest_time += t1.elapsed().as_secs_f64();
+        n_eval += 1;
+        let close = (s.config[0] - truth).abs() <= 0.012;
+        if close {
+            agreements += 1;
+        }
+        println!(
+            "  ({:.2}, {}, {}, {:.2}, {:.2})      {:>8.3}      {:>8.3}       {}",
+            p.h, p.z_p, p.z_n, p.c, p.d, truth, s.config[0], s.learned
+        );
+    }
+    println!(
+        "\n{agreements}/{n_eval} suggestions within one grid step of the searched optimum"
+    );
+    println!(
+        "search {:.2e}s vs suggestion {:.2e}s per point — {:.0}x faster",
+        search_time,
+        suggest_time / n_eval as f64,
+        search_time / (suggest_time / n_eval as f64)
+    );
+}

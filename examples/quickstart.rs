@@ -1,0 +1,73 @@
+//! Quickstart: wrap an expensive computation in the Learning-Everywhere
+//! hybrid engine and watch the effective speedup grow.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use learning_everywhere::accounting::summarize;
+use learning_everywhere::simulator::SyntheticSimulator;
+use learning_everywhere::{HybridConfig, HybridEngine, QuerySource};
+use learning_everywhere::surrogate::SurrogateConfig;
+use le_linalg::Rng;
+
+fn main() {
+    // 1. An "expensive simulation": any type implementing `Simulator`.
+    //    Here: a synthetic analytic model with ~5 ms of artificial work.
+    let simulator = SyntheticSimulator::new(2, 1, 2_000_000, 0.0);
+
+    // 2. Wrap it in the MLaroundHPC hybrid engine. Queries are served from
+    //    a learned surrogate whenever its MC-dropout uncertainty passes
+    //    the gate; otherwise the simulator runs and the result becomes
+    //    training data ("no run is wasted").
+    let mut engine = HybridEngine::new(
+        simulator,
+        HybridConfig {
+            uncertainty_threshold: 0.35,
+            min_training_runs: 48,
+            retrain_growth: 2.0,
+            surrogate: SurrogateConfig {
+                hidden: vec![64, 64],
+                dropout: 0.1,
+                epochs: 150,
+                mc_samples: 20,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("valid config");
+
+    // 3. Fire queries at it.
+    let mut rng = Rng::new(7);
+    let n_queries = 400;
+    let mut simulated = 0;
+    let mut looked_up = 0;
+    for i in 0..n_queries {
+        let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+        let result = engine.query(&x).expect("query");
+        match result.source {
+            QuerySource::Simulated => simulated += 1,
+            QuerySource::Lookup => looked_up += 1,
+        }
+        if (i + 1) % 100 == 0 {
+            println!(
+                "after {:4} queries: {:3} simulated, {:3} served by the surrogate ({:.0}% lookups)",
+                i + 1,
+                simulated,
+                looked_up,
+                100.0 * engine.lookup_fraction()
+            );
+        }
+    }
+
+    // 4. The effective-performance accounting (paper §III-D).
+    let speedup = engine
+        .accounting()
+        .effective_speedup()
+        .expect("campaign ran");
+    println!("\n{}", summarize(&speedup));
+    println!(
+        "direct measured speedup vs all-simulation: {:.1}x",
+        engine.accounting().direct_speedup().expect("ran")
+    );
+}

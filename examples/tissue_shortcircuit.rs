@@ -1,0 +1,90 @@
+//! Virtual-tissue short-circuiting (§II-B): replace the computationally
+//! costly fine-timescale advection–diffusion module with a learned
+//! analogue, and compare accuracy and speed over a coupled tissue
+//! simulation.
+//!
+//! ```sh
+//! cargo run --release --example tissue_shortcircuit
+//! ```
+
+use le_tissue::surrogate_grid::{SurrogateTrainConfig, TransportSurrogate};
+use le_tissue::vt::{TissueConfig, TissueModel};
+
+fn main() {
+    let config = TissueConfig {
+        width: 32,
+        height: 32,
+        fine_steps_per_tissue_step: 40,
+        initial_cells: 24,
+        ..Default::default()
+    };
+
+    // Train the transport surrogate on *on-trajectory* data: runs of the
+    // coupled model with the full solver, plus random-field augmentation.
+    println!("training the transport surrogate (32x32 → 8x8 coarse)…");
+    let t0 = std::time::Instant::now();
+    let surrogate = TransportSurrogate::train_on_trajectories(
+        &config,
+        4,
+        &[1, 2, 3, 4, 5, 6, 7, 8],
+        40,
+        0.25,
+        &SurrogateTrainConfig {
+            n_samples: 400,
+            hidden: vec![96, 96],
+            epochs: 200,
+            seed: 7,
+        },
+    )
+    .expect("trains");
+    println!("  trained in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // Run the coupled model both ways from the same initial state.
+    let steps = 30;
+    let mut full = TissueModel::new(config, 99).expect("valid");
+    let mut fast = TissueModel::new(config, 99).expect("valid");
+    let solver = *full.solver();
+    let fine = config.fine_steps_per_tissue_step;
+
+    let t1 = std::time::Instant::now();
+    for _ in 0..steps {
+        full.step_full().expect("stable");
+    }
+    let t_full = t1.elapsed().as_secs_f64();
+
+    let t2 = std::time::Instant::now();
+    for _ in 0..steps {
+        fast.step_with_transport(|f, s| surrogate.advance(f, s))
+            .expect("surrogate ok");
+    }
+    let t_fast = t2.elapsed().as_secs_f64();
+
+    let full_stats = full.stats();
+    let fast_stats = fast.stats();
+    // Compare nutrient fields at the surrogate's native resolution.
+    let f_coarse = full.nutrient.downsample(4).expect("divides");
+    let s_coarse = fast.nutrient.downsample(4).expect("divides");
+    let rmse = f_coarse.rmse(&s_coarse).expect("same shape");
+    let scale = f_coarse.total() / (f_coarse.width() * f_coarse.height()) as f64;
+
+    println!("\nafter {steps} tissue steps ({} fine steps each):", fine);
+    println!(
+        "  full solver:  {:4} cells, nutrient mass {:8.1}, {:.2}s",
+        full_stats.n_cells, full_stats.nutrient_mass, t_full
+    );
+    println!(
+        "  surrogate:    {:4} cells, nutrient mass {:8.1}, {:.2}s",
+        fast_stats.n_cells, fast_stats.nutrient_mass, t_fast
+    );
+    println!(
+        "  coarse-field RMSE {rmse:.3} (mean level {scale:.3}) — relative {:.1}%",
+        100.0 * rmse / scale
+    );
+    println!(
+        "  transport speedup: {:.1}x (replacing {} fine steps per tissue step)",
+        t_full / t_fast,
+        fine
+    );
+    let solver_check = solver; // the solver remains available for validation runs
+    let _ = solver_check;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate every experiment table in results/ (see EXPERIMENTS.md).
+# Usage: scripts/run_experiments.sh [results_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-results}"
+mkdir -p "$OUT"
+
+cargo build --release -p le-bench --bins
+
+for exp in \
+    e1_effective_speedup \
+    e2_nanoconfinement \
+    e3_autotune \
+    e4_defsi \
+    e5_active_learning \
+    e6_nn_potential \
+    e7_sync_models \
+    e8_scheduling \
+    e9_tissue \
+    e10_solvent \
+    e11_uq_ablation \
+    e12_blocking \
+    e13_mlcontrol; do
+    echo "=== $exp ==="
+    ./target/release/"$exp" > "$OUT/$exp.md" 2> "$OUT/$exp.log"
+done
+
+echo "All experiment tables written to $OUT/"

@@ -1,0 +1,165 @@
+//! `learning-everywhere-repro` — glue for the examples, integration tests,
+//! and benches: adapters that plug the workspace's simulation substrates
+//! into the [`learning_everywhere::Simulator`] trait.
+
+use learning_everywhere::{LeError, Simulator};
+
+/// Adapter: the nanoconfinement MD scenario as a framework [`Simulator`].
+///
+/// Input features are `[h, z_p, z_n, c, d]` (the D = 5 of paper ref [26]);
+/// outputs are `[contact, mid, peak]` cation densities.
+#[derive(Debug, Clone)]
+pub struct NanoSimulator {
+    sim: le_mdsim::NanoSim,
+}
+
+impl NanoSimulator {
+    /// Wrap a configured [`le_mdsim::NanoSim`].
+    pub fn new(config: le_mdsim::SimConfig) -> Self {
+        Self {
+            sim: le_mdsim::NanoSim::new(config),
+        }
+    }
+
+    /// Test-speed preset.
+    pub fn fast() -> Self {
+        Self::new(le_mdsim::SimConfig::fast())
+    }
+
+    /// The wrapped simulator.
+    pub fn inner(&self) -> &le_mdsim::NanoSim {
+        &self.sim
+    }
+}
+
+impl Simulator for NanoSimulator {
+    fn input_dim(&self) -> usize {
+        5
+    }
+
+    fn output_dim(&self) -> usize {
+        3
+    }
+
+    fn simulate(&self, input: &[f64], seed: u64) -> learning_everywhere::Result<Vec<f64>> {
+        let params = le_mdsim::nanoconfinement::NanoParams::from_features(input)
+            .map_err(|e| LeError::Simulation(e.to_string()))?;
+        let (out, _) = self
+            .sim
+            .run(&params, seed)
+            .map_err(|e| LeError::Simulation(e.to_string()))?;
+        Ok(out.to_vec())
+    }
+
+    fn name(&self) -> &str {
+        "nanoconfinement-md"
+    }
+}
+
+/// Adapter: the tissue fine-transport burst as a framework [`Simulator`].
+/// Input is the coarse-grained field concatenated with the coarse sources;
+/// output is the coarse-grained advanced field.
+#[derive(Debug, Clone)]
+pub struct TransportSimulator {
+    solver: le_tissue::DiffusionSolver,
+    /// Fine lattice shape.
+    pub shape: (usize, usize),
+    /// Coarse-graining factor.
+    pub factor: usize,
+    /// Fine steps per call.
+    pub fine_steps: usize,
+}
+
+impl TransportSimulator {
+    /// Build around a stable solver.
+    pub fn new(
+        solver: le_tissue::DiffusionSolver,
+        shape: (usize, usize),
+        factor: usize,
+        fine_steps: usize,
+    ) -> Self {
+        Self {
+            solver,
+            shape,
+            factor,
+            fine_steps,
+        }
+    }
+
+    fn coarse_len(&self) -> usize {
+        (self.shape.0 / self.factor) * (self.shape.1 / self.factor)
+    }
+}
+
+impl Simulator for TransportSimulator {
+    fn input_dim(&self) -> usize {
+        2 * self.coarse_len()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.coarse_len()
+    }
+
+    fn simulate(&self, input: &[f64], _seed: u64) -> learning_everywhere::Result<Vec<f64>> {
+        let n = self.coarse_len();
+        if input.len() != 2 * n {
+            return Err(LeError::InvalidConfig(format!(
+                "expected {} inputs, got {}",
+                2 * n,
+                input.len()
+            )));
+        }
+        let (w, h) = self.shape;
+        let cw = w / self.factor;
+        let ch = h / self.factor;
+        let field = le_tissue::Field::from_vec(cw, ch, input[..n].to_vec())
+            .map_err(|e| LeError::Simulation(e.to_string()))?
+            .upsample(self.factor);
+        let sources = le_tissue::Field::from_vec(cw, ch, input[n..].to_vec())
+            .map_err(|e| LeError::Simulation(e.to_string()))?
+            .upsample(self.factor);
+        let advanced = self
+            .solver
+            .advance(&field, &sources, self.fine_steps)
+            .map_err(|e| LeError::Simulation(e.to_string()))?;
+        Ok(advanced
+            .downsample(self.factor)
+            .map_err(|e| LeError::Simulation(e.to_string()))?
+            .as_slice()
+            .to_vec())
+    }
+
+    fn name(&self) -> &str {
+        "tissue-transport"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nano_adapter_roundtrip() {
+        let sim = NanoSimulator::fast();
+        assert_eq!(sim.input_dim(), 5);
+        assert_eq!(sim.output_dim(), 3);
+        let out = sim.simulate(&[3.0, 1.0, 1.0, 0.5, 0.6], 1).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        // Invalid physics rejected through the adapter.
+        assert!(sim.simulate(&[0.1, 1.0, 1.0, 0.5, 0.6], 1).is_err());
+        assert!(sim.simulate(&[3.0, 1.0], 1).is_err());
+    }
+
+    #[test]
+    fn transport_adapter_shapes() {
+        let solver = le_tissue::DiffusionSolver::diffusion_only(1.0, 1.0, 0.2).unwrap();
+        let sim = TransportSimulator::new(solver, (16, 16), 4, 10);
+        assert_eq!(sim.input_dim(), 32);
+        assert_eq!(sim.output_dim(), 16);
+        let input = vec![1.0; 32];
+        let out = sim.simulate(&input, 0).unwrap();
+        assert_eq!(out.len(), 16);
+        assert!(sim.simulate(&[0.0; 5], 0).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate check promised in DESIGN.md: the hybrid engine's live
+//! accounting, fed to the analytic §III-D formula, agrees with the direct
+//! total-time speedup measurement.
+
+use learning_everywhere::simulator::SyntheticSimulator;
+use learning_everywhere::surrogate::SurrogateConfig;
+use learning_everywhere::{HybridConfig, HybridEngine};
+use le_linalg::Rng;
+
+#[test]
+fn measured_effective_speedup_matches_direct_ratio() {
+    let sim = SyntheticSimulator::new(2, 1, 1_000_000, 0.0);
+    let mut engine = HybridEngine::new(
+        sim,
+        HybridConfig {
+            uncertainty_threshold: 0.6,
+            min_training_runs: 40,
+            retrain_growth: 2.0,
+            surrogate: SurrogateConfig {
+                epochs: 60,
+                dropout: 0.1,
+                mc_samples: 10,
+                seed: 5,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("valid config");
+    let mut rng = Rng::new(6);
+    for _ in 0..160 {
+        let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+        engine.query(&x).expect("query succeeds");
+    }
+    assert!(engine.n_lookups() > 0, "campaign must warm up");
+
+    let acc = engine.accounting();
+    let analytic = acc.effective_speedup().expect("has data").speedup;
+    let direct = acc.direct_speedup().expect("has data");
+    // t_seq defaults to mean t_train and every phase is recorded, so the
+    // two views must agree up to floating-point noise.
+    let rel = (analytic - direct).abs() / direct;
+    assert!(
+        rel < 1e-9,
+        "analytic {analytic} vs direct {direct} (rel {rel})"
+    );
+}
+
+#[test]
+fn formula_limits_bracket_the_measured_campaign() {
+    use le_perfmodel::speedup::{lookup_limit, no_ml_limit};
+
+    let sim = SyntheticSimulator::new(2, 1, 1_000_000, 0.0);
+    let mut engine = HybridEngine::new(
+        sim,
+        HybridConfig {
+            uncertainty_threshold: 0.6,
+            min_training_runs: 40,
+            retrain_growth: 2.5,
+            surrogate: SurrogateConfig {
+                epochs: 60,
+                dropout: 0.1,
+                mc_samples: 10,
+                seed: 7,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("valid config");
+    let mut rng = Rng::new(8);
+    for _ in 0..200 {
+        let x = [rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+        engine.query(&x).expect("query succeeds");
+    }
+    let times = engine.accounting().times().expect("has data");
+    let s = engine
+        .accounting()
+        .effective_speedup()
+        .expect("has data")
+        .speedup;
+    let lo = no_ml_limit(&times).expect("valid") * 0.99;
+    let hi = lookup_limit(&times).expect("t_lookup > 0") * 1.01;
+    assert!(
+        s >= lo && s <= hi,
+        "measured speedup {s} must lie between the no-ML limit {lo} and the lookup limit {hi}"
+    );
+}

@@ -1,0 +1,65 @@
+//! End-to-end NN-potential pipeline (E6 in miniature): train a
+//! Behler–Parrinello network on the expensive reference, verify accuracy on
+//! held-out clusters and a large per-evaluation speedup.
+
+use le_linalg::Rng;
+use le_mdsim::bp::{generate_training_set, BpPotential, SymmetryFunctions};
+use le_mdsim::reference::{random_cluster, ReferencePotential};
+use le_nn::TrainConfig;
+
+#[test]
+fn bp_potential_learns_and_accelerates_the_reference() {
+    let reference = ReferencePotential::default();
+    let sf = SymmetryFunctions::standard(reference.rc);
+
+    // Label a training campaign (parallel).
+    let data = generate_training_set(&sf, &reference, 200, 10, 77);
+    assert_eq!(data.features.rows(), 2000);
+
+    let pot = BpPotential::train(
+        sf,
+        &data,
+        &[32, 32],
+        TrainConfig {
+            epochs: 200,
+            patience: Some(40),
+            ..Default::default()
+        },
+        8,
+    )
+    .expect("trains");
+
+    // Held-out accuracy: per-atom normalized error.
+    let mut rng = Rng::new(9);
+    let mut rel_errs = Vec::new();
+    for _ in 0..30 {
+        let pos = random_cluster(10, reference.r0, 1.4, &mut rng);
+        let e_ref = reference.energy(&pos).total;
+        let e_nn = pot.energy(&pos);
+        rel_errs.push((e_nn - e_ref).abs() / (e_ref.abs() + 1.0));
+    }
+    let mean_rel = rel_errs.iter().sum::<f64>() / rel_errs.len() as f64;
+    assert!(
+        mean_rel < 0.2,
+        "held-out relative energy error {mean_rel} too large"
+    );
+
+    // Per-evaluation speedup: the NN must be markedly faster even in an
+    // unoptimized build; the E6 bench measures the release-mode factor.
+    let pos = random_cluster(16, reference.r0, 1.3, &mut rng);
+    let reps = 5;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        let _ = reference.energy(&pos);
+    }
+    let t_ref = t0.elapsed().as_secs_f64() / reps as f64;
+    let t1 = std::time::Instant::now();
+    for _ in 0..reps {
+        let _ = pot.energy(&pos);
+    }
+    let t_nn = t1.elapsed().as_secs_f64() / reps as f64;
+    assert!(
+        t_ref / t_nn > 2.0,
+        "NN should be clearly faster: reference {t_ref:.2e}s vs NN {t_nn:.2e}s"
+    );
+}

@@ -1,0 +1,91 @@
+//! End-to-end DEFSI pipeline (E4 in miniature): calibrate → simulate
+//! synthetic seasons → train the two-branch net → forecast a hidden truth
+//! season, beating at least the naive baseline at both resolutions.
+
+use le_netdyn::baselines::{naive_forecast, uniform_county_split};
+use le_netdyn::defsi::{
+    estimate_tau_distribution, generate_synthetic_seasons, score_forecaster, DefsiTrainConfig,
+    TwoBranchNet,
+};
+use le_netdyn::epifast::{hidden_truth_season, EpiFast};
+use le_netdyn::seir::SeirConfig;
+use le_netdyn::surveillance::Surveillance;
+use le_netdyn::{Population, PopulationConfig};
+
+#[test]
+fn defsi_pipeline_beats_naive_baseline() {
+    let pop = Population::generate(
+        &PopulationConfig {
+            county_sizes: vec![300; 6],
+            mean_degree_within: 8.0,
+            mean_degree_across: 1.0,
+        },
+        11,
+    )
+    .expect("valid population");
+    let base = SeirConfig {
+        transmissibility: 0.0,
+        days: 98, // 14 weeks
+        ..Default::default()
+    };
+    let surveillance = Surveillance {
+        reporting_fraction: 0.3,
+        noise: 0.08,
+        delay_weeks: 1,
+    };
+    let hidden_tau = 0.08;
+    let truth = hidden_truth_season(&pop, hidden_tau, &base, 12).expect("runs");
+    let observed = surveillance.observe_state(&truth, 13);
+
+    // Module 1: calibrate.
+    let epifast = EpiFast::new(base, surveillance.reporting_fraction);
+    let (tau_mean, tau_std) =
+        estimate_tau_distribution(&epifast, &pop, &observed, 14).expect("calibrates");
+    assert!(
+        (tau_mean - hidden_tau).abs() <= 0.04,
+        "calibration should land near {hidden_tau}, got {tau_mean}"
+    );
+
+    // Module 2: synthetic seasons.
+    let seasons = generate_synthetic_seasons(&pop, &base, &surveillance, tau_mean, tau_std, 24, 15)
+        .expect("simulations run");
+
+    // Module 3: the two-branch net.
+    let window = 4;
+    let net = TwoBranchNet::train(
+        &seasons,
+        pop.n_counties,
+        &DefsiTrainConfig {
+            window,
+            epochs: 80,
+            ..Default::default()
+        },
+    )
+    .expect("trains");
+
+    let defsi = score_forecaster(&truth, &surveillance, window, 99, |obs| {
+        net.forecast_counties(obs, 14)
+    })
+    .expect("scores");
+    let rf = surveillance.reporting_fraction;
+    let n_c = pop.n_counties;
+    let naive = score_forecaster(&truth, &surveillance, window, 99, |obs| {
+        let state = naive_forecast(obs)? / rf;
+        Ok(uniform_county_split(state, n_c))
+    })
+    .expect("scores");
+
+    assert!(
+        defsi.state_rmse < naive.state_rmse,
+        "DEFSI state RMSE {} must beat naive {}",
+        defsi.state_rmse,
+        naive.state_rmse
+    );
+    assert!(
+        defsi.county_rmse < naive.county_rmse,
+        "DEFSI county RMSE {} must beat naive {}",
+        defsi.county_rmse,
+        naive.county_rmse
+    );
+    assert_eq!(defsi.n_points, naive.n_points);
+}

@@ -1,0 +1,87 @@
+//! End-to-end MLaroundHPC over the real MD substrate: the hybrid engine
+//! wraps the nanoconfinement simulator, warms up, and serves accurate
+//! lookups for un-simulated statepoints (the E2 pipeline in miniature).
+
+use learning_everywhere::surrogate::SurrogateConfig;
+use learning_everywhere::{HybridConfig, HybridEngine, QuerySource, Simulator};
+use learning_everywhere_repro::NanoSimulator;
+use le_linalg::Rng;
+use le_mdsim::nanoconfinement::NanoParams;
+
+#[test]
+fn hybrid_engine_over_md_serves_accurate_lookups() {
+    let sim = NanoSimulator::fast();
+    let mut engine = HybridEngine::new(
+        sim,
+        HybridConfig {
+            // Densities are O(0.1–2 /nm³); τ = 0.25 is a loose gate that
+            // lets the engine switch to lookups once trained.
+            uncertainty_threshold: 0.25,
+            min_training_runs: 60,
+            retrain_growth: 2.0,
+            surrogate: SurrogateConfig {
+                hidden: vec![48, 48],
+                dropout: 0.08,
+                epochs: 200,
+                mc_samples: 15,
+                seed: 3,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("valid config");
+
+    let mut rng = Rng::new(4);
+    let mut lookups = 0;
+    let mut sims = 0;
+    for _ in 0..110 {
+        let p = NanoParams::sample(&mut rng);
+        let r = engine.query(&p.to_features()).expect("query");
+        match r.source {
+            QuerySource::Lookup => lookups += 1,
+            QuerySource::Simulated => sims += 1,
+        }
+        // Densities are physical.
+        assert!(r.output.iter().all(|&v| v.is_finite() && v >= -0.5));
+    }
+    assert!(
+        lookups > 0,
+        "engine should serve some lookups after warmup ({sims} sims)"
+    );
+
+    // Accuracy: compare lookups against fresh simulations. Individual MD
+    // runs are noisy and the surrogate has only ~10² training points over
+    // a 5-D space, so the meaningful check is statistical: the mean
+    // absolute error of lookup-served answers stays within the gate's
+    // scale, and predictions correlate with the simulated truth.
+    let reference = NanoSimulator::fast();
+    let mut lookup_mids = Vec::new();
+    let mut truth_mids = Vec::new();
+    for trial in 0..25 {
+        let p = NanoParams::sample(&mut rng);
+        let feats = p.to_features();
+        let r = engine.query(&feats).expect("query");
+        if r.source == QuerySource::Lookup {
+            let truth = reference.simulate(&feats, 5000 + trial).expect("simulate");
+            lookup_mids.push(r.output[1]);
+            truth_mids.push(truth[1]);
+        }
+    }
+    assert!(
+        lookup_mids.len() >= 5,
+        "need several lookups to check, got {}",
+        lookup_mids.len()
+    );
+    let mae = lookup_mids
+        .iter()
+        .zip(truth_mids.iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .sum::<f64>()
+        / lookup_mids.len() as f64;
+    assert!(mae < 0.5, "lookup mid-density MAE {mae} too large");
+    let corr = le_linalg::stats::pearson(&lookup_mids, &truth_mids).expect("non-empty");
+    assert!(
+        corr > 0.5,
+        "lookups should track the simulated truth, correlation {corr}"
+    );
+}

@@ -1,0 +1,248 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+
+use le_linalg::{stats, Matrix, Rng};
+use le_nn::Scaler;
+use le_perfmodel::speedup::{effective_speedup, lookup_limit, SpeedupTimes};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The effective speedup always lies between min and max of its two
+    /// degenerate "pure" rates, for any positive times and counts.
+    #[test]
+    fn effective_speedup_is_bounded_by_pure_rates(
+        t_seq in 1e-3f64..1e3,
+        t_train in 1e-3f64..1e3,
+        t_learn in 0.0f64..10.0,
+        t_lookup in 1e-9f64..1.0,
+        n_lookup in 0.0f64..1e6,
+        n_train in 1.0f64..1e4,
+    ) {
+        let times = SpeedupTimes { t_seq, t_train, t_learn, t_lookup };
+        let s = effective_speedup(&times, n_lookup, n_train).unwrap().speedup;
+        let pure_train = t_seq / (t_train + t_learn);
+        let pure_lookup = lookup_limit(&times).unwrap();
+        let lo = pure_train.min(pure_lookup) * (1.0 - 1e-9);
+        let hi = pure_train.max(pure_lookup) * (1.0 + 1e-9);
+        prop_assert!(s >= lo && s <= hi, "S = {s} outside [{lo}, {hi}]");
+    }
+
+    /// Speedup is monotone in N_lookup when lookups are cheaper than
+    /// simulations.
+    #[test]
+    fn effective_speedup_monotone_when_lookup_cheaper(
+        t_seq in 0.1f64..100.0,
+        ratio in 1.01f64..1e6,
+        n1 in 0.0f64..1e5,
+        extra in 1.0f64..1e5,
+    ) {
+        let t_train = t_seq;
+        let t_lookup = t_train / ratio;
+        let times = SpeedupTimes { t_seq, t_train, t_learn: 0.0, t_lookup };
+        let s1 = effective_speedup(&times, n1, 100.0).unwrap().speedup;
+        let s2 = effective_speedup(&times, n1 + extra, 100.0).unwrap().speedup;
+        prop_assert!(s2 >= s1 * (1.0 - 1e-12));
+    }
+
+    /// Scaler round-trip is the identity for any well-conditioned data.
+    #[test]
+    fn scaler_roundtrip_identity(
+        rows in 2usize..30,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, rng.uniform_in(-100.0, 100.0));
+            }
+        }
+        let scaler = Scaler::fit(&m).unwrap();
+        let back = scaler.inverse_transform(&scaler.transform(&m).unwrap()).unwrap();
+        for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Matrix multiplication is associative (within tolerance).
+    #[test]
+    fn matmul_associative(seed in 0u64..500) {
+        let mut rng = Rng::new(seed);
+        let a = Matrix::he_uniform(4, 3, 4, &mut rng);
+        let b = Matrix::he_uniform(3, 5, 3, &mut rng);
+        let c = Matrix::he_uniform(5, 2, 5, &mut rng);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// Welford accumulation matches batch statistics for arbitrary data.
+    #[test]
+    fn welford_matches_batch(values in prop::collection::vec(-1e4f64..1e4, 2..200)) {
+        let mut w = stats::Welford::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let mean = stats::mean(&values).unwrap();
+        let std = stats::sample_std(&values).unwrap();
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.sample_std() - std).abs() < 1e-6 * (1.0 + std));
+    }
+
+    /// The RNG's uniform_in always lands inside the interval.
+    #[test]
+    fn uniform_in_respects_bounds(seed in 0u64..1000, lo in -1e6f64..1e6, width in 1e-6f64..1e6) {
+        let hi = lo + width;
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            let v = rng.uniform_in(lo, hi);
+            prop_assert!((lo..hi).contains(&v) || v == lo);
+        }
+    }
+
+    /// The cell list finds exactly the brute-force neighbor pairs for
+    /// arbitrary particle configurations and cutoffs.
+    #[test]
+    fn celllist_matches_brute_force(
+        seed in 0u64..200,
+        n in 2usize..60,
+        cutoff in 0.5f64..3.0,
+        lx in 4.0f64..12.0,
+        h in 2.0f64..8.0,
+    ) {
+        use le_mdsim::celllist::CellList;
+        use le_mdsim::system::SlabBox;
+        let bbox = SlabBox::new(lx, lx, h).unwrap();
+        let mut rng = Rng::new(seed);
+        let pos: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.uniform_in(0.0, lx),
+                    rng.uniform_in(0.0, lx),
+                    rng.uniform_in(0.0, h),
+                ]
+            })
+            .collect();
+        let mut brute = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = bbox.min_image(&pos[i], &pos[j]);
+                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= cutoff * cutoff {
+                    brute.insert((i, j));
+                }
+            }
+        }
+        let cl = CellList::build(bbox, cutoff, &pos);
+        let mut found = std::collections::HashSet::new();
+        cl.for_each_pair(|i, j| {
+            let d = bbox.min_image(&pos[i], &pos[j]);
+            if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= cutoff * cutoff {
+                found.insert((i.min(j), i.max(j)));
+            }
+        });
+        prop_assert_eq!(found, brute);
+    }
+
+    /// No-flux diffusion conserves mass for arbitrary fields and stable
+    /// solver parameters.
+    #[test]
+    fn diffusion_conserves_mass(
+        seed in 0u64..200,
+        w in 4usize..20,
+        h in 4usize..20,
+        d in 0.1f64..1.0,
+        steps in 1usize..40,
+    ) {
+        use le_tissue::{DiffusionSolver, Field};
+        let dt = 0.9 * 1.0 / (4.0 * d); // just inside the CFL bound
+        let solver = DiffusionSolver::diffusion_only(d, 1.0, dt).unwrap();
+        let mut rng = Rng::new(seed);
+        let data: Vec<f64> = (0..w * h).map(|_| rng.uniform_in(0.0, 5.0)).collect();
+        let field = Field::from_vec(w, h, data).unwrap();
+        let sources = Field::zeros(w, h);
+        let advanced = solver.advance(&field, &sources, steps).unwrap();
+        prop_assert!((advanced.total() - field.total()).abs() < 1e-8 * field.total().max(1.0));
+        prop_assert!(advanced.min() >= 0.0);
+    }
+
+    /// SEIR bookkeeping: attack rate bounded by 1, incidence non-negative,
+    /// and total incidence consistent with the attack rate.
+    #[test]
+    fn seir_invariants(
+        seed in 0u64..100,
+        tau in 0.0f64..0.3,
+        seeds_n in 1usize..10,
+    ) {
+        use le_netdyn::seir::{simulate, SeirConfig};
+        use le_netdyn::{Population, PopulationConfig};
+        let pop = Population::generate(&PopulationConfig::uniform(3, 120), seed).unwrap();
+        let cfg = SeirConfig {
+            transmissibility: tau,
+            initial_infections: seeds_n,
+            days: 60,
+            ..Default::default()
+        };
+        let out = simulate(&pop, &cfg, seed ^ 0xF00D).unwrap();
+        prop_assert!(out.attack_rate >= 0.0 && out.attack_rate <= 1.0);
+        prop_assert!(out
+            .incidence
+            .iter()
+            .all(|c| c.iter().all(|&v| v >= 0.0)));
+        let total: f64 = out.state_incidence().iter().sum();
+        let expected = out.attack_rate * pop.size() as f64 - seeds_n as f64;
+        prop_assert!((total - expected).abs() < 1e-9);
+    }
+
+    /// Allreduce algorithms agree for arbitrary participant counts and
+    /// vector lengths.
+    #[test]
+    fn allreduce_algorithms_agree(
+        p in 1usize..10,
+        n in 1usize..40,
+        seed in 0u64..200,
+    ) {
+        use le_mlkernels::collective::{allreduce_flat, allreduce_ring, allreduce_tree};
+        let mut rng = Rng::new(seed);
+        let inputs: Vec<Vec<f64>> = (0..p)
+            .map(|_| (0..n).map(|_| rng.uniform_in(-10.0, 10.0)).collect())
+            .collect();
+        let flat = allreduce_flat(&inputs);
+        let tree = allreduce_tree(&inputs);
+        let ring = allreduce_ring(&inputs);
+        for i in 0..n {
+            prop_assert!((flat[i] - tree[i]).abs() < 1e-9);
+            prop_assert!((flat[i] - ring[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Scheduler work conservation holds for arbitrary workloads.
+    #[test]
+    fn scheduler_conserves_work(
+        seed in 0u64..200,
+        n_workers in 1usize..8,
+        learnt_frac in 0.0f64..1.0,
+    ) {
+        use le_sched::{simulate, Policy, Workload, WorkloadConfig};
+        let w = Workload::generate(
+            &WorkloadConfig {
+                n_tasks: 200,
+                mean_interarrival: 0.1,
+                sim_service: 1.0,
+                learnt_speedup: 100.0,
+                learnt_fraction_start: learnt_frac,
+                learnt_fraction_end: learnt_frac,
+            },
+            seed,
+        )
+        .unwrap();
+        let m = simulate(&w, n_workers, Policy::SingleQueue).unwrap();
+        prop_assert_eq!(m.n_completed, 200);
+        prop_assert!((m.total_busy - w.total_service()).abs() < 1e-6);
+        prop_assert!(m.utilization <= 1.0 + 1e-9);
+    }
+}

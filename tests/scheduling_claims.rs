@@ -1,0 +1,97 @@
+//! Integration check of the paper's scheduling claims (research issues
+//! 7–8): with a 10⁵× learnt/unlearnt service-time ratio, separating the
+//! classes collapses learnt-task latency without sacrificing overall
+//! throughput; and the advantage persists as the learnt fraction ramps.
+
+use le_sched::{simulate, Policy, TaskClass, Workload, WorkloadConfig};
+
+fn workload(learnt_fraction: f64, seed: u64) -> Workload {
+    Workload::generate(
+        &WorkloadConfig {
+            n_tasks: 2500,
+            mean_interarrival: 0.3,
+            sim_service: 8.0,
+            learnt_speedup: 1e5,
+            learnt_fraction_start: learnt_fraction,
+            learnt_fraction_end: learnt_fraction,
+        },
+        seed,
+    )
+    .expect("valid workload")
+}
+
+#[test]
+fn split_pools_collapse_learnt_latency_at_scale() {
+    let w = workload(0.6, 21);
+    let n_workers = 6;
+    let single = simulate(&w, n_workers, Policy::SingleQueue).expect("runs");
+    let split = simulate(&w, n_workers, Policy::DedicatedSplit { learnt_workers: 1 })
+        .expect("runs");
+    let single_learnt = single.mean_latency(TaskClass::Learnt).expect("has learnt");
+    let split_learnt = split.mean_latency(TaskClass::Learnt).expect("has learnt");
+    assert!(
+        split_learnt < 0.1 * single_learnt,
+        "split should collapse learnt latency ≥10x: {split_learnt} vs {single_learnt}"
+    );
+    // Throughput (makespan) is not materially sacrificed: one worker
+    // removed from the simulation pool stretches the makespan by at most
+    // ~n/(n-1) plus queueing slack.
+    assert!(
+        split.makespan < single.makespan * 1.5,
+        "split makespan {} vs single {}",
+        split.makespan,
+        single.makespan
+    );
+}
+
+#[test]
+fn learnt_priority_also_helps_without_dedicated_hardware() {
+    let w = workload(0.6, 22);
+    let single = simulate(&w, 6, Policy::SingleQueue).expect("runs");
+    let prio = simulate(&w, 6, Policy::LearntPriority).expect("runs");
+    let s = single.mean_latency(TaskClass::Learnt).expect("has learnt");
+    let p = prio.mean_latency(TaskClass::Learnt).expect("has learnt");
+    assert!(
+        p < s,
+        "priority queueing must reduce learnt latency: {p} vs {s}"
+    );
+}
+
+#[test]
+fn advantage_grows_with_learnt_fraction() {
+    // As the surrogate takes over (learnt fraction ramps 0.2 → 0.9), the
+    // latency gap between single-queue and split widens in relative terms.
+    let mut gaps = Vec::new();
+    for (i, &frac) in [0.2, 0.5, 0.9].iter().enumerate() {
+        let w = workload(frac, 30 + i as u64);
+        let single = simulate(&w, 6, Policy::SingleQueue).expect("runs");
+        let split = simulate(&w, 6, Policy::DedicatedSplit { learnt_workers: 1 })
+            .expect("runs");
+        let s = single.mean_latency(TaskClass::Learnt).expect("learnt exist");
+        let p = split.mean_latency(TaskClass::Learnt).expect("learnt exist");
+        gaps.push(s / p);
+    }
+    // All regimes benefit.
+    assert!(gaps.iter().all(|&g| g > 1.0), "gaps {gaps:?}");
+}
+
+#[test]
+fn work_conservation_across_policies_at_scale() {
+    let w = workload(0.5, 23);
+    let demand = w.total_service();
+    for policy in [
+        Policy::SingleQueue,
+        Policy::DedicatedSplit { learnt_workers: 2 },
+        Policy::ShortestQueue,
+        Policy::WorkStealing,
+        Policy::LearntPriority,
+    ] {
+        let m = simulate(&w, 6, policy).expect("runs");
+        assert_eq!(m.n_completed, 2500, "{}", policy.name());
+        assert!(
+            (m.total_busy - demand).abs() < 1e-6,
+            "{}: work not conserved",
+            policy.name()
+        );
+    }
+}
