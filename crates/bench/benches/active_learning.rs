@@ -1,16 +1,17 @@
 //! E5 bench: the active-learning loop's primitives — one surrogate refit
 //! and one pool-scoring pass (MC-dropout over every candidate).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::{nano_dataset, nano_surrogate, BENCH_SEED};
 use le_uq::{select_batch, AcquisitionStrategy};
 
-fn bench_active(c: &mut Criterion) {
+fn main() {
     let (params, outputs) = nano_dataset(48, BENCH_SEED);
-    c.bench_function("e5/surrogate_refit_48_runs", |b| {
-        b.iter(|| nano_surrogate(black_box(&params), black_box(&outputs), 60, BENCH_SEED))
+    let h = Harness::new();
+    h.bench("e5/surrogate_refit_48_runs", || {
+        nano_surrogate(black_box(&params), black_box(&outputs), 60, BENCH_SEED)
     });
 
     let mut surrogate = nano_surrogate(&params, &outputs, 60, BENCH_SEED);
@@ -24,22 +25,13 @@ fn bench_active(c: &mut Criterion) {
             })
             .collect()
     };
-    c.bench_function("e5/score_200_candidates_max_uncertainty", |b| {
-        b.iter(|| {
-            select_batch(
-                &mut surrogate,
-                black_box(&pool),
-                16,
-                AcquisitionStrategy::MaxUncertainty,
-                BENCH_SEED,
-            )
-        })
+    h.bench("e5/score_200_candidates_max_uncertainty", || {
+        select_batch(
+            &mut surrogate,
+            black_box(&pool),
+            16,
+            AcquisitionStrategy::MaxUncertainty,
+            BENCH_SEED,
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_active
-}
-criterion_main!(benches);

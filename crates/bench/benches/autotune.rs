@@ -1,9 +1,9 @@
 //! E3 bench: expensive stability search versus one autotuner suggestion —
 //! the MLautotuning amortization (paper ref [9]).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::BENCH_SEED;
 use le_linalg::Rng;
 use le_mdsim::nanoconfinement::{NanoParams, SimConfig};
@@ -45,11 +45,12 @@ impl TuningProblem for DtSearch {
     }
 }
 
-fn bench_autotune(c: &mut Criterion) {
+fn main() {
     let mut rng = Rng::new(BENCH_SEED);
     let probe = NanoParams::sample(&mut rng).to_features().to_vec();
-    c.bench_function("e3/stability_search_per_point", |b| {
-        b.iter(|| DtSearch.search_optimal(black_box(&probe)).unwrap())
+    let h = Harness::new();
+    h.bench("e3/stability_search_per_point", || {
+        DtSearch.search_optimal(black_box(&probe)).unwrap()
     });
 
     let params: Vec<Vec<f64>> = (0..48)
@@ -68,14 +69,7 @@ fn bench_autotune(c: &mut Criterion) {
         0.02,
     )
     .expect("fits");
-    c.bench_function("e3/autotuner_suggestion_per_point", |b| {
-        b.iter(|| tuner.suggest(black_box(&probe)).unwrap())
+    h.bench("e3/autotuner_suggestion_per_point", || {
+        tuner.suggest(black_box(&probe)).unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_autotune
-}
-criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! all-pairs loop, across system sizes — the crossover justifies the cell
 //! list in `le-mdsim`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_linalg::Rng;
 use le_mdsim::celllist::CellList;
 use le_mdsim::system::SlabBox;
@@ -22,48 +22,36 @@ fn positions(n: usize, bbox: &SlabBox, seed: u64) -> Vec<[f64; 3]> {
         .collect()
 }
 
-fn bench_neighbor_search(c: &mut Criterion) {
+fn main() {
     let cutoff = 1.0;
-    let mut group = c.benchmark_group("ablation_neighbor_search");
+    let h = Harness::new();
     for &n in &[100usize, 400, 1600] {
         // Constant density: box grows with N.
         let side = (n as f64 / 2.0).cbrt().max(3.0 * cutoff);
         let bbox = SlabBox::new(side, side, side).expect("valid");
         let pos = positions(n, &bbox, 42);
-        group.bench_with_input(BenchmarkId::new("cell_list", n), &pos, |b, pos| {
-            b.iter(|| {
-                let cl = CellList::build(bbox, cutoff, black_box(pos));
-                let mut count = 0usize;
-                cl.for_each_pair(|i, j| {
+        h.bench(&format!("ablation_neighbor_search/cell_list/{n}"), || {
+            let cl = CellList::build(bbox, cutoff, black_box(&pos));
+            let mut count = 0usize;
+            cl.for_each_pair(|i, j| {
+                let d = bbox.min_image(&pos[i], &pos[j]);
+                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= cutoff * cutoff {
+                    count += 1;
+                }
+            });
+            count
+        });
+        h.bench(&format!("ablation_neighbor_search/all_pairs/{n}"), || {
+            let mut count = 0usize;
+            for i in 0..pos.len() {
+                for j in i + 1..pos.len() {
                     let d = bbox.min_image(&pos[i], &pos[j]);
                     if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= cutoff * cutoff {
                         count += 1;
                     }
-                });
-                count
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("all_pairs", n), &pos, |b, pos| {
-            b.iter(|| {
-                let mut count = 0usize;
-                for i in 0..pos.len() {
-                    for j in i + 1..pos.len() {
-                        let d = bbox.min_image(&pos[i], &pos[j]);
-                        if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= cutoff * cutoff {
-                            count += 1;
-                        }
-                    }
                 }
-                count
-            })
+            }
+            count
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_neighbor_search
-}
-criterion_main!(benches);

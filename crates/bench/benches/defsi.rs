@@ -1,16 +1,16 @@
 //! E4 bench: the DEFSI pipeline's primitive costs — one stochastic SEIR
 //! season, one surveillance observation, one two-branch forecast.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::BENCH_SEED;
 use le_netdyn::defsi::{generate_synthetic_seasons, DefsiTrainConfig, TwoBranchNet};
 use le_netdyn::seir::{simulate, SeirConfig};
 use le_netdyn::surveillance::Surveillance;
 use le_netdyn::{Population, PopulationConfig};
 
-fn bench_defsi(c: &mut Criterion) {
+fn main() {
     let pop = Population::generate(
         &PopulationConfig {
             county_sizes: vec![300; 6],
@@ -25,8 +25,9 @@ fn bench_defsi(c: &mut Criterion) {
         days: 84,
         ..Default::default()
     };
-    c.bench_function("e4/seir_season_simulation", |b| {
-        b.iter(|| simulate(black_box(&pop), black_box(&cfg), BENCH_SEED).unwrap())
+    let h = Harness::new();
+    h.bench("e4/seir_season_simulation", || {
+        simulate(black_box(&pop), black_box(&cfg), BENCH_SEED).unwrap()
     });
 
     let seasons = generate_synthetic_seasons(
@@ -49,14 +50,7 @@ fn bench_defsi(c: &mut Criterion) {
     )
     .expect("trains");
     let observed: Vec<f64> = seasons[0].observed_state.clone();
-    c.bench_function("e4/defsi_forecast_call", |b| {
-        b.iter(|| net.forecast_counties(black_box(&observed[..6]), 12).unwrap())
+    h.bench("e4/defsi_forecast_call", || {
+        net.forecast_counties(black_box(&observed[..6]), 12).unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_defsi
-}
-criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! ratio sweep (the analytics themselves must be negligible next to any
 //! simulation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_perfmodel::scaling::sweep_ratio;
 use le_perfmodel::speedup::{effective_speedup, SpeedupTimes};
 
@@ -17,19 +17,13 @@ fn times() -> SpeedupTimes {
     }
 }
 
-fn bench_formula(c: &mut Criterion) {
+fn main() {
     let t = times();
-    c.bench_function("e1/formula_single_eval", |b| {
-        b.iter(|| effective_speedup(black_box(&t), black_box(1e6), black_box(100.0)).unwrap())
+    let h = Harness::with_samples(20);
+    h.bench("e1/formula_single_eval", || {
+        effective_speedup(black_box(&t), black_box(1e6), black_box(100.0)).unwrap()
     });
-    c.bench_function("e1/ratio_sweep_8_decades", |b| {
-        b.iter(|| sweep_ratio(black_box(&t), 100.0, -2, 6, 8).unwrap())
+    h.bench("e1/ratio_sweep_8_decades", || {
+        sweep_ratio(black_box(&t), 100.0, -2, 6, 8).unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_formula
-}
-criterion_main!(benches);

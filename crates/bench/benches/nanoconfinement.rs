@@ -2,14 +2,14 @@
 //! simulation versus one surrogate lookup (and one MC-dropout UQ-gated
 //! lookup). The ratio of these is the engine's asymptotic speedup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::{nano_dataset, nano_surrogate, BENCH_SEED};
 use le_mdsim::nanoconfinement::NanoParams;
 use le_mdsim::{NanoSim, SimConfig};
 
-fn bench_sim_vs_lookup(c: &mut Criterion) {
+fn main() {
     let sim = NanoSim::new(SimConfig::fast());
     let probe = NanoParams {
         h: 3.0,
@@ -18,24 +18,18 @@ fn bench_sim_vs_lookup(c: &mut Criterion) {
         c: 0.5,
         d: 0.6,
     };
-    c.bench_function("e2/md_simulation_fast_preset", |b| {
-        b.iter(|| sim.run(black_box(&probe), BENCH_SEED).unwrap())
+    let h = Harness::new();
+    h.bench("e2/md_simulation_fast_preset", || {
+        sim.run(black_box(&probe), BENCH_SEED).unwrap()
     });
 
     let (params, outputs) = nano_dataset(64, BENCH_SEED);
     let mut surrogate = nano_surrogate(&params, &outputs, 100, BENCH_SEED);
     let feats = probe.to_features();
-    c.bench_function("e2/surrogate_lookup", |b| {
-        b.iter(|| surrogate.predict(black_box(&feats)).unwrap())
+    h.bench("e2/surrogate_lookup", || {
+        surrogate.predict(black_box(&feats)).unwrap()
     });
-    c.bench_function("e2/surrogate_lookup_with_uq_gate", |b| {
-        b.iter(|| surrogate.predict_with_uncertainty(black_box(&feats)).unwrap())
+    h.bench("e2/surrogate_lookup_with_uq_gate", || {
+        surrogate.predict_with_uncertainty(black_box(&feats)).unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sim_vs_lookup
-}
-criterion_main!(benches);

@@ -2,16 +2,16 @@
 //! energy at increasing cluster sizes — the ">1000x faster" claim's shape:
 //! the gap grows with system size and reference fidelity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::BENCH_SEED;
 use le_linalg::Rng;
 use le_mdsim::bp::{generate_training_set, BpPotential, SymmetryFunctions};
 use le_mdsim::reference::{random_cluster, ReferencePotential};
 use le_nn::TrainConfig;
 
-fn bench_potentials(c: &mut Criterion) {
+fn main() {
     let reference = ReferencePotential::default();
     let sf = SymmetryFunctions::standard(reference.rc);
     let data = generate_training_set(&sf, &reference, 120, 10, BENCH_SEED);
@@ -27,23 +27,15 @@ fn bench_potentials(c: &mut Criterion) {
     )
     .expect("trains");
 
-    let mut group = c.benchmark_group("e6");
+    let h = Harness::new();
     for &n in &[8usize, 16, 32] {
         let mut rng = Rng::new(BENCH_SEED ^ n as u64);
         let pos = random_cluster(n, reference.r0, 1.3, &mut rng);
-        group.bench_with_input(BenchmarkId::new("reference_energy", n), &pos, |b, pos| {
-            b.iter(|| reference.energy(black_box(pos)))
+        h.bench(&format!("e6/reference_energy/{n}"), || {
+            reference.energy(black_box(&pos))
         });
-        group.bench_with_input(BenchmarkId::new("bp_nn_energy", n), &pos, |b, pos| {
-            b.iter(|| pot.energy(black_box(pos)))
+        h.bench(&format!("e6/bp_nn_energy/{n}"), || {
+            pot.energy(black_box(&pos))
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_potentials
-}
-criterion_main!(benches);

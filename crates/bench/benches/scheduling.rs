@@ -1,13 +1,13 @@
 //! E8 bench: discrete-event simulation throughput per scheduling policy on
 //! the mixed learnt/unlearnt workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::BENCH_SEED;
 use le_sched::{simulate, Policy, Workload, WorkloadConfig};
 
-fn bench_scheduling(c: &mut Criterion) {
+fn main() {
     let workload = Workload::generate(
         &WorkloadConfig {
             n_tasks: 5000,
@@ -23,20 +23,10 @@ fn bench_scheduling(c: &mut Criterion) {
         Policy::WorkStealing,
         Policy::LearntPriority,
     ];
-    let mut group = c.benchmark_group("e8_des_5000_tasks");
+    let h = Harness::new();
     for policy in policies {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.name()),
-            &policy,
-            |b, &policy| b.iter(|| simulate(black_box(&workload), 8, policy).unwrap()),
-        );
+        h.bench(&format!("e8_des_5000_tasks/{}", policy.name()), || {
+            simulate(black_box(&workload), 8, policy).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_scheduling
-}
-criterion_main!(benches);

@@ -1,21 +1,20 @@
 //! E10 bench: explicit-solvent step cost versus the solvent-free step with
 //! the learned PMF (the 80–90% cost-removal claim of §II-C2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::BENCH_SEED;
 use le_linalg::Rng;
 use le_mdsim::solvent::{pmf_from_rdf, PmfPotential, SolvatedConfig, SolvatedSystem};
 
-fn bench_solvent(c: &mut Criterion) {
+fn main() {
     let cfg = SolvatedConfig::small();
-    c.bench_function("e10/explicit_solvent_100_steps", |b| {
-        b.iter(|| {
-            let mut rng = Rng::new(BENCH_SEED);
-            let mut sys = SolvatedSystem::new(black_box(cfg), &mut rng).unwrap();
-            sys.run(100, 0, 50, 20, 2.0, &mut rng).unwrap()
-        })
+    let h = Harness::new();
+    h.bench("e10/explicit_solvent_100_steps", || {
+        let mut rng = Rng::new(BENCH_SEED);
+        let mut sys = SolvatedSystem::new(black_box(cfg), &mut rng).unwrap();
+        sys.run(100, 0, 50, 20, 2.0, &mut rng).unwrap()
     });
 
     // Train the PMF once from a reference explicit run, then bench its
@@ -26,15 +25,6 @@ fn bench_solvent(c: &mut Criterion) {
     let samples = pmf_from_rdf(&rdf, 5);
     if samples.len() >= 8 {
         let pmf = PmfPotential::train(&samples, BENCH_SEED).expect("trains");
-        c.bench_function("e10/pmf_force_eval", |b| {
-            b.iter(|| pmf.force(black_box(0.8)))
-        });
+        h.bench("e10/pmf_force_eval", || pmf.force(black_box(0.8)));
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_solvent
-}
-criterion_main!(benches);

@@ -2,86 +2,64 @@
 //! four synchronization models at a fixed thread count — the
 //! synchronization *overhead* comparison of §III-A.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::BENCH_SEED;
 use le_mlkernels::kmeans::{synthetic_blobs, train as kmeans_train, KmeansConfig};
 use le_mlkernels::sgd::{synthetic_dataset, train as sgd_train, SgdConfig};
 use le_mlkernels::SyncModel;
 
-fn bench_sync_models(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let (x, y, _) = synthetic_dataset(2000, 16, 0.05, BENCH_SEED);
-    let mut group = c.benchmark_group("e7_sgd_epoch");
     for model in SyncModel::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(model.name()),
-            &model,
-            |b, &model| {
-                b.iter(|| {
-                    sgd_train(
-                        black_box(&x),
-                        black_box(&y),
-                        model,
-                        &SgdConfig {
-                            epochs: 1,
-                            threads: 4,
-                            seed: BENCH_SEED,
-                            ..Default::default()
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        h.bench(&format!("e7_sgd_epoch/{}", model.name()), || {
+            sgd_train(
+                black_box(&x),
+                black_box(&y),
+                model,
+                &SgdConfig {
+                    epochs: 1,
+                    threads: 4,
+                    seed: BENCH_SEED,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
     }
-    group.finish();
 
     let centers = vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![-5.0, 5.0], vec![5.0, -5.0]];
     let data = synthetic_blobs(500, &centers, 0.4, BENCH_SEED);
-    let mut group = c.benchmark_group("e7_kmeans_sweep");
     for model in SyncModel::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(model.name()),
-            &model,
-            |b, &model| {
-                b.iter(|| {
-                    kmeans_train(
-                        black_box(&data),
-                        model,
-                        &KmeansConfig {
-                            k: 4,
-                            iterations: 1,
-                            threads: 4,
-                            seed: BENCH_SEED,
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        h.bench(&format!("e7_kmeans_sweep/{}", model.name()), || {
+            kmeans_train(
+                black_box(&data),
+                model,
+                &KmeansConfig {
+                    k: 4,
+                    iterations: 1,
+                    threads: 4,
+                    seed: BENCH_SEED,
+                },
+            )
+            .unwrap()
+        });
     }
-    group.finish();
+
+    bench_collectives(&h);
 }
 
-fn bench_collectives(c: &mut Criterion) {
-    use le_mlkernels::collective::{allreduce_flat, allreduce_ring, allreduce_tree};
+fn bench_collectives(h: &Harness) {
     use le_linalg::Rng;
+    use le_mlkernels::collective::{allreduce_flat, allreduce_ring, allreduce_tree};
     // 8 workers × 100k-element model vector (a realistic gradient size).
     let mut rng = Rng::new(BENCH_SEED);
     let inputs: Vec<Vec<f64>> = (0..8)
         .map(|_| (0..100_000).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
         .collect();
-    let mut group = c.benchmark_group("e7_allreduce_8x100k");
-    group.bench_function("flat", |b| b.iter(|| allreduce_flat(black_box(&inputs))));
-    group.bench_function("tree", |b| b.iter(|| allreduce_tree(black_box(&inputs))));
-    group.bench_function("ring", |b| b.iter(|| allreduce_ring(black_box(&inputs))));
-    group.finish();
+    h.bench("e7_allreduce_8x100k/flat", || allreduce_flat(black_box(&inputs)));
+    h.bench("e7_allreduce_8x100k/tree", || allreduce_tree(black_box(&inputs)));
+    h.bench("e7_allreduce_8x100k/ring", || allreduce_ring(black_box(&inputs)));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sync_models, bench_collectives
-}
-criterion_main!(benches);

@@ -1,14 +1,14 @@
 //! E9 bench: the fine diffusion burst versus its learned analogue — the
 //! short-circuiting speedup of §II-B.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use le_bench::timing::Harness;
 use le_bench::BENCH_SEED;
 use le_tissue::surrogate_grid::{SurrogateTrainConfig, TransportSurrogate};
 use le_tissue::vt::{TissueConfig, TissueModel};
 
-fn bench_tissue(c: &mut Criterion) {
+fn main() {
     let config = TissueConfig {
         width: 32,
         height: 32,
@@ -21,8 +21,9 @@ fn bench_tissue(c: &mut Criterion) {
     let (sources, _) = model.current_sources();
     let field = model.nutrient.clone();
 
-    c.bench_function("e9/full_fine_burst_40_steps", |b| {
-        b.iter(|| solver.advance(black_box(&field), black_box(&sources), 40).unwrap())
+    let h = Harness::new();
+    h.bench("e9/full_fine_burst_40_steps", || {
+        solver.advance(black_box(&field), black_box(&sources), 40).unwrap()
     });
 
     let surrogate = TransportSurrogate::train_on_trajectories(
@@ -39,14 +40,7 @@ fn bench_tissue(c: &mut Criterion) {
         },
     )
     .expect("trains");
-    c.bench_function("e9/surrogate_burst", |b| {
-        b.iter(|| surrogate.advance(black_box(&field), black_box(&sources)).unwrap())
+    h.bench("e9/surrogate_burst", || {
+        surrogate.advance(black_box(&field), black_box(&sources)).unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_tissue
-}
-criterion_main!(benches);

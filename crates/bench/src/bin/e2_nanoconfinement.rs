@@ -6,7 +6,6 @@ use le_bench::{md_row, nano_surrogate, BENCH_SEED};
 use le_linalg::stats;
 use le_mdsim::nanoconfinement::NanoParams;
 use le_mdsim::{NanoSim, SimConfig};
-use rayon::prelude::*;
 
 fn main() {
     // Scaled-down sweep (the paper's companion used 6864 runs; grid(11)
@@ -18,11 +17,10 @@ fn main() {
     let params: Vec<NanoParams> = (0..n_total).map(|_| NanoParams::sample(&mut rng)).collect();
     eprintln!("running {n_total} MD simulations…");
     let t0 = std::time::Instant::now();
-    let outputs: Vec<Vec<f64>> = params
-        .par_iter()
-        .enumerate()
-        .map(|(i, p)| sim.run(p, BENCH_SEED ^ (i as u64 + 1)).expect("valid").0.to_vec())
-        .collect();
+    let outputs: Vec<Vec<f64>> =
+        le_mlkernels::pool::par_map_index(params.len(), |i| {
+            sim.run(&params[i], BENCH_SEED ^ (i as u64 + 1)).expect("valid").0.to_vec()
+        });
     let per_sim = t0.elapsed().as_secs_f64() / n_total as f64;
 
     let surrogate = nano_surrogate(&params[..split], &outputs[..split], 400, BENCH_SEED);

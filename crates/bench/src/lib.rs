@@ -1,6 +1,8 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! `le-bench` — shared fixtures for the experiment harness.
 //!
-//! Each experiment from DESIGN.md has (a) a Criterion bench under
+//! Each experiment from DESIGN.md has (a) a plain timing bench under
 //! `benches/` measuring its primitive operations, and (b) a harness binary
 //! under `src/bin/` (`e1_…` through `e12_…`) that regenerates the
 //! experiment's table/series for EXPERIMENTS.md. The fixtures here keep
@@ -11,20 +13,20 @@ use le_mdsim::nanoconfinement::NanoParams;
 use le_mdsim::{NanoSim, SimConfig};
 use learning_everywhere::surrogate::{NnSurrogate, SurrogateConfig};
 
+pub mod timing;
+
 /// Standard seed for all benches (fixtures must be identical across runs).
 pub const BENCH_SEED: u64 = 20190415; // the paper's IPDPS-workshop year
 
 /// Build a labelled nanoconfinement dataset of `n` runs at the fast preset.
 pub fn nano_dataset(n: usize, seed: u64) -> (Vec<NanoParams>, Vec<Vec<f64>>) {
-    use rayon::prelude::*;
     let sim = NanoSim::new(SimConfig::fast());
     let mut rng = Rng::new(seed);
     let params: Vec<NanoParams> = (0..n).map(|_| NanoParams::sample(&mut rng)).collect();
-    let outputs: Vec<Vec<f64>> = params
-        .par_iter()
-        .enumerate()
-        .map(|(i, p)| sim.run(p, seed ^ (i as u64 + 1)).expect("valid params").0.to_vec())
-        .collect();
+    let outputs: Vec<Vec<f64>> =
+        le_mlkernels::pool::par_map_index(params.len(), |i| {
+            sim.run(&params[i], seed ^ (i as u64 + 1)).expect("valid params").0.to_vec() // lint:allow(no-panic): fixture params are constructed valid above
+        });
     (params, outputs)
 }
 
@@ -53,7 +55,7 @@ pub fn nano_surrogate(
             ..Default::default()
         },
     )
-    .expect("well-formed dataset")
+    .expect("well-formed dataset") // lint:allow(no-panic): dataset shape fixed by the generator above
 }
 
 /// Format a markdown table row.

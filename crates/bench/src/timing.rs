@@ -1,0 +1,97 @@
+//! Minimal plain-`fn main()` timing harness (the workspace is hermetic, so
+//! the Criterion dependency is gone; `cargo bench` runs these directly).
+//!
+//! Methodology: one warmup call calibrates a batch size targeting ~5 ms per
+//! batch, then `samples` batches are timed and the per-iteration median,
+//! minimum, and maximum are reported. Medians make the numbers robust to
+//! scheduler noise without Criterion's full bootstrap machinery.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A named group of timing measurements.
+pub struct Harness {
+    samples: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// Harness with the default 10 samples per benchmark.
+    pub fn new() -> Self {
+        Self { samples: 10 }
+    }
+
+    /// Harness taking `samples` timed batches per benchmark.
+    pub fn with_samples(samples: usize) -> Self {
+        Self {
+            samples: samples.max(1),
+        }
+    }
+
+    /// Time `f`, printing `name: median (min … max) per iter`.
+    /// Returns the median seconds per iteration.
+    pub fn bench<R, F: FnMut() -> R>(&self, name: &str, mut f: F) -> f64 {
+        // Warmup + calibration: aim for ~5 ms batches, at least 1 iter.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((5e-3 / once) as usize).clamp(1, 100_000);
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<48} {} ({} … {}) × {iters} iters/sample",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max)
+        );
+        median
+    }
+}
+
+/// Human-readable seconds.
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_median() {
+        let h = Harness::with_samples(3);
+        let m = h.bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn fmt_time_ranges() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -21,7 +21,6 @@
 
 use le_linalg::{Matrix, Rng};
 use le_nn::{Activation, MlpConfig, Optimizer, Scaler, TrainConfig};
-use rayon::prelude::*;
 
 use le_uq::{select_batch, AcquisitionStrategy, DeepEnsemble, Prediction, UncertainModel};
 
@@ -173,12 +172,12 @@ impl UncertainModel for EnsembleSurrogate {
         let mut xs = x.to_vec();
         self.x_scaler
             .transform_slice(&mut xs)
-            .expect("caller checked dims");
+            .expect("caller checked dims"); // lint:allow(no-panic): dims validated at loop entry
         let p = self.ensemble.predict_with_uncertainty(&xs);
         let mut mean = p.mean;
         self.y_scaler
             .inverse_transform_slice(&mut mean)
-            .expect("widths fixed");
+            .expect("widths fixed"); // lint:allow(no-panic): scaler fitted on the same width
         let std = p
             .std
             .iter()
@@ -192,11 +191,11 @@ impl UncertainModel for EnsembleSurrogate {
         let mut xs = x.to_vec();
         self.x_scaler
             .transform_slice(&mut xs)
-            .expect("caller checked dims");
+            .expect("caller checked dims"); // lint:allow(no-panic): dims validated at loop entry
         let mut y = self.ensemble.predict_point(&xs);
         self.y_scaler
             .inverse_transform_slice(&mut y)
-            .expect("widths fixed");
+            .expect("widths fixed"); // lint:allow(no-panic): scaler fitted on the same width
         y
     }
 
@@ -218,7 +217,7 @@ pub fn validation_rmse(surrogate: &FittedSurrogate, val_x: &[Vec<f64>], val_y: &
     let mut ss = 0.0;
     let mut n = 0usize;
     for (x, y) in val_x.iter().zip(val_y.iter()) {
-        let p = surrogate.predict(x).expect("validated dims");
+        let p = surrogate.predict(x).expect("validated dims"); // lint:allow(no-panic): dims validated at loop entry
         for (&pi, &yi) in p.iter().zip(y.iter()) {
             ss += (pi - yi) * (pi - yi);
             n += 1;
@@ -280,15 +279,14 @@ pub fn run_active_learning<S: Simulator>(
     let mut chosen: Vec<usize> = remaining.drain(..cfg.initial).collect();
 
     let simulate_batch = |indices: &[usize], base_seed: u64| -> Result<Vec<Vec<f64>>> {
-        indices
-            .par_iter()
-            .enumerate()
-            .map(|(k, &i)| {
-                simulator
-                    .simulate(&pool[i], base_seed.wrapping_add(k as u64))
-                    .map_err(|e| LeError::Simulation(e.to_string()))
-            })
-            .collect()
+        le_mlkernels::pool::par_map_index(indices.len(), |k| {
+            let i = indices[k];
+            simulator
+                .simulate(&pool[i], base_seed.wrapping_add(k as u64))
+                .map_err(|e| LeError::Simulation(e.to_string()))
+        })
+        .into_iter()
+        .collect()
     };
 
     let mut labels: Vec<Vec<f64>> = simulate_batch(&chosen, cfg.seed ^ 0x1111)?;

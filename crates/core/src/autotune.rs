@@ -129,16 +129,14 @@ pub fn label_examples<P: TuningProblem + Sync>(
     problem: &P,
     params: &[Vec<f64>],
 ) -> Result<Vec<TuningExample>> {
-    use rayon::prelude::*;
-    params
-        .par_iter()
-        .map(|p| {
-            Ok(TuningExample {
-                params: p.clone(),
-                optimal: problem.search_optimal(p)?,
-            })
+    le_mlkernels::pool::par_map(params, |p| {
+        Ok(TuningExample {
+            params: p.clone(),
+            optimal: problem.search_optimal(p)?,
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -119,7 +119,7 @@ pub fn run_campaign<S: Simulator>(
         .min_by(|&a, &b| {
             target_error(&ys[a], target).total_cmp(&target_error(&ys[b], target))
         })
-        .expect("non-empty design");
+        .expect("non-empty design"); // lint:allow(no-panic): design size checked by config validation
     let mut best_input = xs[best_idx].clone();
     let mut best_output = ys[best_idx].clone();
     let mut best_error = target_error(&best_output, target);
@@ -143,7 +143,7 @@ pub fn run_campaign<S: Simulator>(
         let mut scored: Vec<(f64, Vec<f64>)> = (0..cfg.scan_size)
             .map(|_| {
                 let x = sample_input(&mut rng);
-                let pred = surrogate.predict(&x).expect("dims fixed");
+                let pred = surrogate.predict(&x).expect("dims fixed"); // lint:allow(no-panic): surrogate trained on this exact width
                 (target_error(&pred, target), x)
             })
             .collect();

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! `learning-everywhere` — the paper's primary contribution as a library.
 //!
 //! *Learning Everywhere: Pervasive Machine Learning for Effective

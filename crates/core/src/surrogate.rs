@@ -256,11 +256,11 @@ impl NnSurrogate {
 impl UncertainModel for NnSurrogate {
     fn predict_with_uncertainty(&mut self, x: &[f64]) -> Prediction {
         NnSurrogate::predict_with_uncertainty(self, x)
-            .expect("dimension checked by acquisition caller")
+            .expect("dimension checked by acquisition caller") // lint:allow(no-panic): acquisition validates dims first
     }
 
     fn predict_point(&self, x: &[f64]) -> Vec<f64> {
-        self.predict(x).expect("dimension checked by caller")
+        self.predict(x).expect("dimension checked by caller") // lint:allow(no-panic): public entry validates dims first
     }
 
     fn out_dim(&self) -> usize {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 // Indexed loops over small fixed dimensions (k in 0..3, stencils) are the
 // clearer idiom in numeric kernels; silence the pedantic lint crate-wide.
 #![allow(clippy::needless_range_loop)]
@@ -17,10 +19,13 @@
 //!   and online (Welford) accumulators.
 //! * [`solve`] — small dense solvers (Gaussian elimination with partial
 //!   pivoting, Cholesky) used by calibration and least-squares baselines.
+//! * [`approx`] — tolerance-based float comparison ([`approx::approx_eq`],
+//!   [`assert_close!`]) backing the workspace's `float-hygiene` lint rule.
 //!
 //! Everything is deterministic given a seed; nothing allocates in hot loops
 //! beyond what the caller hands in.
 
+pub mod approx;
 pub mod matrix;
 pub mod rng;
 pub mod solve;

@@ -160,7 +160,7 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
+                if aik == 0.0 { // lint:allow(float-hygiene): exact-zero sparsity skip, any other value must multiply
                     continue;
                 }
                 let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
@@ -186,7 +186,7 @@ impl Matrix {
             let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
             let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
             for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
+                if aki == 0.0 { // lint:allow(float-hygiene): exact-zero sparsity skip, any other value must multiply
                     continue;
                 }
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];

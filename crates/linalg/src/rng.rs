@@ -193,7 +193,7 @@ impl Rng {
     /// large.
     pub fn poisson(&mut self, lambda: f64) -> usize {
         debug_assert!(lambda >= 0.0);
-        if lambda == 0.0 {
+        if lambda == 0.0 { // lint:allow(float-hygiene): exact degenerate-distribution fast path
             return 0;
         }
         if lambda > 64.0 {

@@ -49,7 +49,7 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         let pivot = m.get(col, col);
         for r in col + 1..n {
             let factor = m.get(r, col) / pivot;
-            if factor == 0.0 {
+            if factor == 0.0 { // lint:allow(float-hygiene): exact-zero elimination skip preserves bitwise results
                 continue;
             }
             for c in col..n {

@@ -2,6 +2,7 @@
 //! metrics (RMSE, MAE, R²), quantiles, autocorrelation (for the §III-D
 //! blocking analysis), and an online Welford accumulator.
 
+use crate::approx::approx_eq;
 use crate::{LinalgError, Result};
 
 /// Arithmetic mean. Returns `Empty` on an empty slice.
@@ -66,8 +67,8 @@ pub fn r2(pred: &[f64], target: &[f64]) -> Result<f64> {
         .map(|(&p, &t)| (t - p).powi(2))
         .sum();
     let ss_tot: f64 = target.iter().map(|&t| (t - tm).powi(2)).sum();
-    if ss_tot == 0.0 {
-        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    if approx_eq(ss_tot, 0.0) {
+        return Ok(if approx_eq(ss_res, 0.0) { 1.0 } else { 0.0 });
     }
     Ok(1.0 - ss_res / ss_tot)
 }
@@ -85,7 +86,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
         sxx += (x - mx).powi(2);
         syy += (y - my).powi(2);
     }
-    if sxx == 0.0 || syy == 0.0 {
+    if approx_eq(sxx, 0.0) || approx_eq(syy, 0.0) {
         return Ok(0.0);
     }
     Ok(sxy / (sxx * syy).sqrt())
@@ -98,7 +99,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
     }
     debug_assert!((0.0..=1.0).contains(&q));
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -119,7 +120,7 @@ pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Result<Vec<f64>> {
     let m = mean(xs)?;
     let var: f64 = xs.iter().map(|x| (x - m).powi(2)).sum();
     let mut acf = Vec::with_capacity(max_lag + 1);
-    if var == 0.0 {
+    if approx_eq(var, 0.0) {
         // Constant series: define ACF as 1 at lag 0, 0 beyond.
         acf.push(1.0);
         acf.extend(std::iter::repeat_n(0.0, max_lag));

@@ -1,0 +1,202 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `le-lint` — the workspace's from-scratch static-analysis driver.
+//!
+//! The paper's MLforHPC loops only produce trustworthy *effective speedup*
+//! numbers if the simulation and training kernels are deterministic,
+//! panic-free, and reproducible. This crate enforces that as a set of
+//! repo-specific lint rules over every workspace source file and manifest,
+//! with zero external dependencies (a lightweight line/token scanner, not a
+//! full parser):
+//!
+//! * **L1 `hermeticity`** — no dependency outside the in-tree
+//!   `le-*`/`learning-everywhere` set may appear in any `Cargo.toml`. The
+//!   build must succeed offline, forever.
+//! * **L2 `no-panic`** — `unwrap()` / `expect(` / `panic!` /
+//!   `unreachable!` are forbidden in library code under `crates/*/src`
+//!   (binaries, benches, and `#[cfg(test)]` modules are exempt).
+//! * **L3 `float-hygiene`** — exact `==` / `!=` against float literals or
+//!   `f64`/`f32` constants is flagged; use `le_linalg::approx::approx_eq`
+//!   or `le_linalg::assert_close!` instead.
+//! * **L4 `determinism`** — ambient entropy and wall-clock reads
+//!   (`SystemTime`, `Instant::now`, `thread_rng`-style calls) are forbidden
+//!   in the simulation/kernel crates; all randomness flows through
+//!   `le_linalg::rng` seeds.
+//! * **L5 `lint-headers`** — every crate root must carry the agreed
+//!   `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` header.
+//!
+//! Any finding can be suppressed for one line with a trailing
+//! `// lint:allow(<rule>)` comment (a justification after a `:` is
+//! encouraged: `// lint:allow(no-panic): length checked above`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod manifest;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;
+
+pub use workspace::{check_workspace, Report};
+
+/// The five workspace lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: only in-tree dependencies in any manifest.
+    Hermeticity,
+    /// L2: no panicking calls in library code.
+    NoPanic,
+    /// L3: no exact float equality comparisons.
+    FloatHygiene,
+    /// L4: no ambient entropy / wall clock in simulation crates.
+    Determinism,
+    /// L5: crate roots carry the agreed lint header.
+    LintHeaders,
+}
+
+impl Rule {
+    /// All rules, in L1..L5 order.
+    pub const ALL: [Rule; 5] = [
+        Rule::Hermeticity,
+        Rule::NoPanic,
+        Rule::FloatHygiene,
+        Rule::Determinism,
+        Rule::LintHeaders,
+    ];
+
+    /// The stable rule name used in diagnostics and `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Hermeticity => "hermeticity",
+            Rule::NoPanic => "no-panic",
+            Rule::FloatHygiene => "float-hygiene",
+            Rule::Determinism => "determinism",
+            Rule::LintHeaders => "lint-headers",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One `file:line:rule` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path of the offending file, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number (0 for whole-file findings such as L5).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// The package names allowed as dependencies: the in-tree crate set.
+/// Collected from the workspace during the walk; this constant seeds the
+/// prefix check so the rule works even on a partially broken tree.
+pub fn is_in_tree_name(name: &str, members: &BTreeSet<String>) -> bool {
+    members.contains(name)
+        || name.starts_with("le-")
+        || name == "learning-everywhere"
+        || name == "learning-everywhere-repro"
+}
+
+/// Crates whose sources must be free of wall-clock and ambient entropy
+/// (rule L4): the simulation and kernel substrates. Orchestration and
+/// measurement crates (`core`, `perfmodel`, `sched`, `bench`) legitimately
+/// read wall-clock time for effective-speedup accounting.
+pub const SIM_KERNEL_CRATES: [&str; 6] = [
+    "le-linalg",
+    "le-nn",
+    "le-mdsim",
+    "le-netdyn",
+    "le-tissue",
+    "le-mlkernels",
+];
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Relativize `path` against `root` for display (falls back to `path`).
+pub fn rel_to(path: &Path, root: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_stable() {
+        let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            ["hermeticity", "no-panic", "float-hygiene", "determinism", "lint-headers"]
+        );
+    }
+
+    #[test]
+    fn violation_display_is_file_line_rule() {
+        let v = Violation {
+            file: PathBuf::from("crates/nn/src/layer.rs"),
+            line: 42,
+            rule: Rule::NoPanic,
+            message: "`.unwrap()` in library code".into(),
+        };
+        assert_eq!(
+            v.to_string(),
+            "crates/nn/src/layer.rs:42:no-panic: `.unwrap()` in library code"
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn in_tree_name_check() {
+        let members: BTreeSet<String> = ["le-linalg".to_string()].into_iter().collect();
+        assert!(is_in_tree_name("le-linalg", &members));
+        assert!(is_in_tree_name("le-anything", &members));
+        assert!(is_in_tree_name("learning-everywhere", &members));
+        assert!(!is_in_tree_name("rand", &members));
+        assert!(!is_in_tree_name("rayon", &members));
+    }
+}

@@ -1,0 +1,303 @@
+//! The source-level rule matchers (L2, L3, L4, L5).
+//!
+//! Each matcher takes scanned lines (see [`crate::scanner`]) and returns
+//! findings as `(line_number, message)` pairs; the workspace driver
+//! attaches file paths and filters by crate class.
+
+use crate::scanner::Line;
+
+/// L2: panicking calls forbidden in library code.
+const PANIC_PATTERNS: [(&str, &str); 4] = [
+    (".unwrap()", "`.unwrap()` in library code — return a `Result` or recover; `// lint:allow(no-panic): <why>` if the invariant is local and checked"),
+    (".expect(", "`.expect(...)` in library code — return a `Result` or recover"),
+    ("panic!", "`panic!` in library code — return an error instead"),
+    ("unreachable!", "`unreachable!` in library code — encode the invariant in types or return an error"),
+];
+
+/// L4: ambient entropy / wall clock forbidden in simulation crates.
+const DETERMINISM_PATTERNS: [(&str, &str); 5] = [
+    ("SystemTime", "`SystemTime` in a simulation/kernel crate — results must not depend on wall-clock time"),
+    ("Instant::now", "`Instant::now` in a simulation/kernel crate — timing belongs in the harness; `// lint:allow(determinism): <why>` for pure measurement"),
+    ("thread_rng", "ambient RNG in a simulation/kernel crate — take a `u64` seed and use `le_linalg::rng`"),
+    ("from_entropy", "entropy-seeded RNG in a simulation/kernel crate — take a `u64` seed and use `le_linalg::rng`"),
+    ("rand::", "external `rand` usage — all randomness flows through `le_linalg::rng`"),
+];
+
+/// Check L2 over scanned lines.
+pub fn check_no_panic(lines: &[Line]) -> Vec<(usize, String)> {
+    check_patterns(lines, "no-panic", &PANIC_PATTERNS)
+}
+
+/// Check L4 over scanned lines.
+pub fn check_determinism(lines: &[Line]) -> Vec<(usize, String)> {
+    check_patterns(lines, "determinism", &DETERMINISM_PATTERNS)
+}
+
+fn check_patterns(
+    lines: &[Line],
+    rule: &str,
+    patterns: &[(&str, &str)],
+) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || line.allows_rule(rule) {
+            continue;
+        }
+        for (pat, msg) in patterns {
+            if line.code.contains(pat) {
+                out.push((idx + 1, (*msg).to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Check L3: exact `==` / `!=` where either operand is a float literal or
+/// an `f64`/`f32` path constant.
+pub fn check_float_hygiene(lines: &[Line]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || line.allows_rule("float-hygiene") {
+            continue;
+        }
+        let tokens = tokenize(&line.code);
+        for (t, tok) in tokens.iter().enumerate() {
+            if tok != "==" && tok != "!=" {
+                continue;
+            }
+            let left = t.checked_sub(1).and_then(|k| tokens.get(k));
+            let right = tokens.get(t + 1);
+            let floaty = |o: Option<&String>| {
+                o.map(|s| is_float_literal(s) || s == "f64" || s == "f32")
+                    .unwrap_or(false)
+            };
+            if floaty(left) || floaty(right) {
+                out.push((
+                    idx + 1,
+                    format!(
+                        "exact float `{tok}` comparison — use `le_linalg::approx::approx_eq` \
+                         / `le_linalg::assert_close!` (or `// lint:allow(float-hygiene): <why>` \
+                         for true sentinel checks)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Check L5: crate-root files must carry the agreed header attributes.
+pub fn check_lint_headers(lines: &[Line]) -> Vec<(usize, String)> {
+    let mut missing = Vec::new();
+    let has = |attr: &str| lines.iter().any(|l| l.code.contains(attr));
+    if !has("#![forbid(unsafe_code)]") && !has("#![deny(unsafe_code)]") {
+        missing.push((
+            0,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+    if !has("#![warn(missing_docs)]") && !has("#![deny(missing_docs)]") {
+        missing.push((
+            0,
+            "crate root is missing `#![warn(missing_docs)]`".to_string(),
+        ));
+    }
+    missing
+}
+
+/// Split code text into coarse tokens: identifiers/numbers, multi-char
+/// comparison operators, and single punctuation chars. Whitespace splits.
+fn tokenize(code: &str) -> Vec<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut tok = String::new();
+            while i < chars.len() {
+                let k = chars[i];
+                // Keep numeric literals glued: digits, `.`, `_`, exponent
+                // signs directly after e/E.
+                let numeric_dot = k == '.'
+                    && tok.starts_with(|t: char| t.is_ascii_digit())
+                    && chars.get(i + 1).is_none_or(|n| n.is_ascii_digit() || !n.is_alphanumeric());
+                let exp_sign = (k == '+' || k == '-')
+                    && tok.ends_with(['e', 'E'])
+                    && tok.starts_with(|t: char| t.is_ascii_digit());
+                if k.is_alphanumeric() || k == '_' || numeric_dot || exp_sign {
+                    tok.push(k);
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(tok);
+        } else if (c == '=' || c == '!' || c == '<' || c == '>')
+            && chars.get(i + 1) == Some(&'=')
+        {
+            out.push(format!("{c}="));
+            i += 2;
+        } else {
+            out.push(c.to_string());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True for `1.0`, `0.`, `1e-3`, `2.5f64`, `1f32`, `3.14_15` — not `1`,
+/// `0x10`, `1u64`.
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok.trim_end_matches("f64").trim_end_matches("f32");
+    let had_float_suffix = t.len() != tok.len();
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    let body: String = t.chars().filter(|&c| c != '_').collect();
+    if had_float_suffix && body.chars().all(|c| c.is_ascii_digit()) {
+        return true; // 1f64
+    }
+    let has_dot = body.contains('.');
+    let has_exp = body
+        .char_indices()
+        .any(|(i, c)| (c == 'e' || c == 'E') && i > 0);
+    if !has_dot && !has_exp {
+        return false;
+    }
+    body.chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn no_panic_fires_on_each_pattern() {
+        for snippet in [
+            "let x = v.first().unwrap();",
+            "let x = v.first().expect(\"non-empty\");",
+            "panic!(\"boom\");",
+            "unreachable!()",
+        ] {
+            let hits = check_no_panic(&scan(snippet));
+            assert_eq!(hits.len(), 1, "no hit for {snippet}");
+        }
+    }
+
+    #[test]
+    fn no_panic_negative_cases() {
+        for snippet in [
+            "let x = v.first().unwrap_or(&0);",
+            "let x = v.first().unwrap_or_else(|| &0);",
+            "// a comment about .unwrap()",
+            "let s = \"panic!\";",
+            "debug_assert!(x > 0.0);",
+            "m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)",
+        ] {
+            let hits = check_no_panic(&scan(snippet));
+            assert!(hits.is_empty(), "false positive on {snippet}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn no_panic_allow_escape() {
+        let hits = check_no_panic(&scan(
+            "let x = v.first().unwrap(); // lint:allow(no-panic): checked above",
+        ));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn no_panic_exempts_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}";
+        assert!(check_no_panic(&scan(src)).is_empty());
+    }
+
+    #[test]
+    fn float_hygiene_fires_on_literals_and_consts() {
+        for snippet in [
+            "if x == 0.0 { }",
+            "if 1e-9 != y { }",
+            "if x == 1.5f64 { }",
+            "if v == f64::INFINITY { }",
+            "assert!(a.len() as f64 == 2.0);",
+        ] {
+            let hits = check_float_hygiene(&scan(snippet));
+            assert_eq!(hits.len(), 1, "no hit for {snippet}");
+        }
+    }
+
+    #[test]
+    fn float_hygiene_negative_cases() {
+        for snippet in [
+            "if x == 0 { }",
+            "if n != len { }",
+            "if x <= 0.0 { }",
+            "if x >= 1.0 { }",
+            "let y = x == y;",
+            "if mask == 0xFF { }",
+            "for i in 0..10 { }",
+        ] {
+            let hits = check_float_hygiene(&scan(snippet));
+            assert!(hits.is_empty(), "false positive on {snippet}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn float_hygiene_allow_escape() {
+        let hits = check_float_hygiene(&scan(
+            "if delta != 0.0 { } // lint:allow(float-hygiene): sentinel",
+        ));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn determinism_fires_on_entropy_and_clock() {
+        for snippet in [
+            "let t = std::time::Instant::now();",
+            "let t = SystemTime::now();",
+            "let mut rng = rand::thread_rng();",
+            "let rng = StdRng::from_entropy();",
+        ] {
+            let hits = check_determinism(&scan(snippet));
+            assert!(!hits.is_empty(), "no hit for {snippet}");
+        }
+    }
+
+    #[test]
+    fn determinism_allow_escape_and_seeded_rng_ok() {
+        assert!(check_determinism(&scan("let mut rng = Rng::new(seed);")).is_empty());
+        assert!(check_determinism(&scan(
+            "let t = Instant::now(); // lint:allow(determinism): wall-clock report only"
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn lint_headers_detects_missing_and_present() {
+        let bad = scan("//! docs\npub fn f() {}");
+        assert_eq!(check_lint_headers(&bad).len(), 2);
+        let good = scan("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n//! docs");
+        assert!(check_lint_headers(&good).is_empty());
+        let half = scan("#![forbid(unsafe_code)]\npub fn f() {}");
+        assert_eq!(check_lint_headers(&half).len(), 1);
+    }
+
+    #[test]
+    fn float_literal_classifier() {
+        for t in ["1.0", "0.", "1e-3", "2.5f64", "1f32", "3.14_15", "1E9"] {
+            assert!(is_float_literal(t), "{t} should be float");
+        }
+        for t in ["1", "0x10", "0b01", "1u64", "len", "_x", "e3"] {
+            assert!(!is_float_literal(t), "{t} should not be float");
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! String/comment-aware source scanning.
+//!
+//! The scanner reduces each source line to its *code text* — string and
+//! character literal contents and comments blanked out with spaces — so the
+//! rule matchers never fire on documentation, fixtures embedded in string
+//! literals, or commented-out code. It also extracts `lint:allow(...)`
+//! escape tags from line comments and marks lines inside `#[cfg(test)]`
+//! modules as test-exempt.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code text: literals and comments replaced by spaces,
+    /// column positions preserved.
+    pub code: String,
+    /// Rule names allowed on this line via `// lint:allow(rule, ...)`.
+    pub allows: Vec<String>,
+    /// True if the line sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// True if this line suppresses `rule` (by name or `all`).
+    pub fn allows_rule(&self, rule: &str) -> bool {
+        self.allows.iter().any(|a| a == rule || a == "all")
+    }
+}
+
+/// Multi-line lexer state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside a (nestable) block comment at the given depth.
+    Block(u32),
+    /// Inside a normal `"…"` string literal.
+    Str,
+    /// Inside a raw string literal opened with this many `#`s.
+    RawStr(u32),
+}
+
+/// Scan full source text into per-line code text + allow tags.
+pub fn scan(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for raw in src.lines() {
+        let (code, comment_text, next_state) = scan_line(raw, state);
+        state = next_state;
+        out.push(Line {
+            code,
+            allows: parse_allows(&comment_text),
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+/// Scan one line starting in `state`; returns (code text, comment text,
+/// state at end of line).
+fn scan_line(raw: &str, mut state: State) -> (String, String, State) {
+    let bytes: Vec<char> = raw.chars().collect();
+    let n = bytes.len();
+    let mut code = String::with_capacity(n);
+    let mut comments = String::new();
+    let mut i = 0;
+    while i < n {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth <= 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    comments.push(' ');
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comments.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2; // skip the escaped char (may run past EOL)
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_close_matches(&bytes, i + 1, hashes) {
+                    state = State::Code;
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    // Line comment: capture for lint:allow parsing, done.
+                    comments.push_str(&raw[char_index_to_byte(raw, i)..]);
+                    while code.len() < n {
+                        code.push(' ');
+                    }
+                    break;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    i += 1;
+                } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
+                    if let Some(h) = raw_open_hashes(&bytes, i + 1) {
+                        state = State::RawStr(h);
+                        code.push(' ');
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push(' ');
+                        }
+                        i += 2 + h as usize;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == 'b' && next == Some('\'') {
+                    // Byte literal b'x'.
+                    let consumed = char_literal_len(&bytes, i + 1).unwrap_or(1);
+                    for _ in 0..=consumed {
+                        code.push(' ');
+                    }
+                    i += 1 + consumed;
+                } else if c == '\'' {
+                    // Char literal or lifetime.
+                    match char_literal_len(&bytes, i) {
+                        Some(len) => {
+                            for _ in 0..len {
+                                code.push(' ');
+                            }
+                            i += len;
+                        }
+                        None => {
+                            // Lifetime: keep the tick, scan on.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comments, state)
+}
+
+/// If `bytes[start..]` opens a raw string (`"`, `#"`, `##"`, …), return the
+/// number of hashes.
+fn raw_open_hashes(bytes: &[char], start: usize) -> Option<u32> {
+    let mut h = 0;
+    let mut i = start;
+    while bytes.get(i) == Some(&'#') {
+        h += 1;
+        i += 1;
+    }
+    (bytes.get(i) == Some(&'"')).then_some(h)
+}
+
+/// True if `bytes[start..]` is exactly `hashes` `#` characters (closing a
+/// raw string whose `"` was just seen).
+fn raw_close_matches(bytes: &[char], start: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(start + k) == Some(&'#'))
+}
+
+/// If a char literal starts at `bytes[i]` (which must be `'`), return its
+/// total length in chars; `None` means it is a lifetime tick.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    if bytes.get(i) != Some(&'\'') {
+        return None;
+    }
+    match bytes.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: find the closing quote within a small window
+            // (covers \n, \', \u{…} up to 8 digits).
+            for k in (i + 3)..(i + 12).min(bytes.len()) {
+                if bytes[k] == '\'' {
+                    return Some(k - i + 1);
+                }
+            }
+            None
+        }
+        Some(_) if bytes.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None, // lifetime
+    }
+}
+
+/// Map a char index back to a byte index in the original line.
+fn char_index_to_byte(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+/// Extract rule names from `lint:allow(a, b)` tags in comment text.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        let after = &rest[pos + "lint:allow(".len()..];
+        if let Some(end) = after.find(')') {
+            for name in after[..end].split(',') {
+                let name = name.trim();
+                if !name.is_empty() {
+                    out.push(name.to_string());
+                }
+            }
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Mark lines inside `#[cfg(test)] mod … { … }` regions as test-exempt.
+///
+/// Walks forward from each `#[cfg(test)]` attribute: the gated item runs to
+/// the close of its first brace group (or to the first `;` for brace-less
+/// items like `#[cfg(test)] use …;`).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let start = lines[i]
+            .code
+            .find("#[cfg(test)]")
+            .map(|p| p + "#[cfg(test)]".len())
+            .unwrap_or(0);
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        'region: while j < lines.len() {
+            lines[j].in_test = true;
+            let code = &lines[j].code;
+            let skip = if j == i { start } else { 0 };
+            for c in code.chars().skip(skip) {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened => break 'region,
+                    _ => {}
+                }
+                if opened && depth <= 0 {
+                    break 'region;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked() {
+        let lines = scan(r#"let s = "x.unwrap()"; s.len();"#);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn line_comments_are_blanked_but_allows_parsed() {
+        let lines = scan("foo(); // panic! here is fine // lint:allow(no-panic): reason");
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].allows_rule("no-panic"));
+        assert!(!lines[0].allows_rule("determinism"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let src = "a();\n/* x.unwrap()\n /* nested */ still comment */\nb();";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("a()"));
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(!lines[2].code.contains("comment"));
+        assert!(lines[3].code.contains("b()"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let src = "let s = r#\"first .unwrap()\nsecond panic!\"#; tail();";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[1].code.contains("panic!"));
+        assert!(lines[1].code.contains("tail()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = scan("let c = '\"'; fn f<'a>(x: &'a str) {} let d = '\\n';");
+        // The double-quote inside the char literal must not open a string.
+        assert!(lines[0].code.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn allow_all_tag() {
+        let lines = scan("x(); // lint:allow(all)");
+        assert!(lines[0].allows_rule("no-panic"));
+        assert!(lines[0].allows_rule("float-hygiene"));
+    }
+
+    #[test]
+    fn multiple_allow_tags() {
+        let lines = scan("x(); // lint:allow(no-panic, determinism)");
+        assert!(lines[0].allows_rule("no-panic"));
+        assert!(lines[0].allows_rule("determinism"));
+        assert!(!lines[0].allows_rule("float-hygiene"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration tests: each rule against its fixture mini-workspace, the CLI
+//! exit codes, and a smoke test over the real workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use le_lint::{check_workspace, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The real workspace root (two levels above this crate).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the root")
+        .to_path_buf()
+}
+
+fn rules_fired(dir: &Path) -> Vec<Rule> {
+    let report = check_workspace(dir).expect("fixture should scan");
+    let mut rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn clean_fixture_has_no_violations() {
+    let report = check_workspace(&fixture("clean")).expect("scan");
+    assert!(
+        report.is_clean(),
+        "clean fixture flagged:\n{}",
+        report.to_text()
+    );
+    assert_eq!(report.manifests_scanned, 2);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn hermeticity_fixture_flags_foreign_dep() {
+    let rules = rules_fired(&fixture("hermeticity"));
+    assert_eq!(rules, [Rule::Hermeticity]);
+    let report = check_workspace(&fixture("hermeticity")).expect("scan");
+    assert!(report.violations[0].message.contains("rand"));
+}
+
+#[test]
+fn no_panic_fixture_flags_lib_but_not_bin() {
+    let report = check_workspace(&fixture("no_panic")).expect("scan");
+    let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, [Rule::NoPanic]);
+    // The same unwrap in src/main.rs must not be flagged.
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.file.ends_with("lib.rs")));
+}
+
+#[test]
+fn float_hygiene_fixture_flags_exact_comparison() {
+    assert_eq!(rules_fired(&fixture("float_hygiene")), [Rule::FloatHygiene]);
+}
+
+#[test]
+fn determinism_fixture_flags_wall_clock_in_sim_crate() {
+    assert_eq!(rules_fired(&fixture("determinism")), [Rule::Determinism]);
+}
+
+#[test]
+fn lint_headers_fixture_flags_missing_headers() {
+    let report = check_workspace(&fixture("lint_headers")).expect("scan");
+    let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, [Rule::LintHeaders, Rule::LintHeaders]);
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let report = check_workspace(&workspace_root()).expect("workspace scans");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.to_text()
+    );
+    // All 12 crates plus the root package.
+    assert_eq!(report.manifests_scanned, 13);
+    assert!(report.files_scanned > 50);
+}
+
+#[test]
+fn cli_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_le-lint");
+    let clean = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("spawn le-lint");
+    assert_eq!(clean.status.code(), Some(0), "clean fixture should exit 0");
+
+    for name in [
+        "hermeticity",
+        "no_panic",
+        "float_hygiene",
+        "determinism",
+        "lint_headers",
+    ] {
+        let out = Command::new(bin)
+            .args(["check", "--root"])
+            .arg(fixture(name))
+            .output()
+            .expect("spawn le-lint");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name} fixture should exit 1, stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    let bad = Command::new(bin)
+        .arg("frobnicate")
+        .output()
+        .expect("spawn le-lint");
+    assert_eq!(bad.status.code(), Some(2), "bad usage should exit 2");
+}
+
+#[test]
+fn cli_json_output_is_parseable_shape() {
+    let bin = env!("CARGO_BIN_EXE_le-lint");
+    let out = Command::new(bin)
+        .args(["check", "--format", "json", "--root"])
+        .arg(fixture("no_panic"))
+        .output()
+        .expect("spawn le-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\": \"no-panic\""));
+    assert!(stdout.contains("\"clean\": false"));
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(stdout.trim_end().ends_with('}'));
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Fixture crate.
+
+/// Steps and times a fake kernel.
+pub fn step() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

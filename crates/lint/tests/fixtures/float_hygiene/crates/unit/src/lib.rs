@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Fixture crate.
+
+/// Converged?
+pub fn converged(delta: f64) -> bool {
+    delta == 0.0
+}

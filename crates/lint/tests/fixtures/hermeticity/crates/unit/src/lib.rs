@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Fixture crate.
+
+pub fn ok() {}

@@ -1,0 +1,3 @@
+//! Fixture crate without headers.
+
+pub fn ok() {}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Fixture crate.
+
+/// Unchecked head.
+pub fn head(v: &[f64]) -> f64 {
+    *v.first().unwrap()
+}

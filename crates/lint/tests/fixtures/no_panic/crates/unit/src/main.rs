@@ -1,0 +1,4 @@
+fn main() {
+    let v = vec![1.0];
+    println!("{}", v.first().unwrap());
+}

@@ -17,7 +17,7 @@
 
 use le_linalg::{Matrix, Rng};
 use le_nn::{Mlp, MlpConfig, Scaler, TrainConfig, Trainer};
-use rayon::prelude::*;
+use le_mlkernels::pool;
 
 use crate::reference::{random_cluster, ReferencePotential};
 use crate::system::Vec3;
@@ -163,17 +163,17 @@ pub fn generate_training_set(
     atoms_per_config: usize,
     seed: u64,
 ) -> BpDataset {
-    let rows: Vec<(Vec<f64>, f64)> = (0..n_configs)
-        .into_par_iter()
-        .flat_map(|cfg| {
+    let rows: Vec<(Vec<f64>, f64)> = pool::par_map_index(n_configs, |cfg| {
             let mut rng = Rng::new(seed.wrapping_add(cfg as u64).wrapping_mul(0x2545_F491));
             let pos = random_cluster(atoms_per_config, reference.r0, 1.4, &mut rng);
             let e = reference.energy(&pos);
             (0..pos.len())
                 .map(|i| (sf.describe_atom(&pos, i), e.per_atom[i]))
                 .collect::<Vec<_>>()
-        })
-        .collect();
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let nf = sf.n_features();
     let mut features = Matrix::zeros(rows.len(), nf);
     let mut energies = Matrix::zeros(rows.len(), 1);
@@ -243,12 +243,12 @@ impl BpPotential {
         let xs = self
             .x_scaler
             .transform(&feats)
-            .expect("descriptor width fixed by construction");
-        let ys = self.net.predict(&xs).expect("net width fixed");
+            .expect("descriptor width fixed by construction"); // lint:allow(no-panic): descriptor width fixed at train time
+        let ys = self.net.predict(&xs).expect("net width fixed"); // lint:allow(no-panic): net built for this width
         let back = self
             .y_scaler
             .inverse_transform(&ys)
-            .expect("output width fixed");
+            .expect("output width fixed"); // lint:allow(no-panic): output width fixed at train time
         back.as_slice().iter().sum()
     }
 
@@ -258,9 +258,9 @@ impl BpPotential {
             return Vec::new();
         }
         let feats = self.sf.describe_all(pos);
-        let xs = self.x_scaler.transform(&feats).expect("width fixed");
-        let ys = self.net.predict(&xs).expect("width fixed");
-        let back = self.y_scaler.inverse_transform(&ys).expect("width fixed");
+        let xs = self.x_scaler.transform(&feats).expect("width fixed"); // lint:allow(no-panic): widths fixed at train time
+        let ys = self.net.predict(&xs).expect("width fixed"); // lint:allow(no-panic): widths fixed at train time
+        let back = self.y_scaler.inverse_transform(&ys).expect("width fixed"); // lint:allow(no-panic): widths fixed at train time
         back.as_slice().to_vec()
     }
 

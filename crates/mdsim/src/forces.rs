@@ -99,7 +99,8 @@ impl ForceField {
             f_over_r += (f - f_c) / r;
         }
         // Force-shifted screened Coulomb (Yukawa).
-        if qi != 0.0 && qj != 0.0 && r < self.coulomb_cutoff {
+        // Zero charge means "no Coulomb term", an exact sentinel.
+        if qi != 0.0 && qj != 0.0 && r < self.coulomb_cutoff { // lint:allow(float-hygiene): exact sentinel
             let pref = self.l_b * qi * qj;
             let yuk = |rr: f64| -> (f64, f64) {
                 let u = pref * (-self.kappa * rr).exp() / rr;

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 // Indexed loops over small fixed dimensions (k in 0..3, stencils) are the
 // clearer idiom in numeric kernels; silence the pedantic lint crate-wide.
 #![allow(clippy::needless_range_loop)]

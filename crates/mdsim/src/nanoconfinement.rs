@@ -263,7 +263,7 @@ impl NanoSim {
     /// densities.
     pub fn run(&self, params: &NanoParams, seed: u64) -> Result<(DensityOutputs, RunStats)> {
         params.validate()?;
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
         let cfg = &self.config;
         let bbox = SlabBox::new(cfg.lateral, cfg.lateral, params.h)?;
         let mut sys = System::new(bbox);

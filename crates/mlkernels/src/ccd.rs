@@ -8,11 +8,11 @@
 //! stratum every coordinate update is exclusively owned — no locks, no
 //! races, no staleness.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use le_linalg::Rng;
 
-use crate::sync::{atomic_vec, partition, snapshot, KernelReport, SyncModel};
+use crate::sync::{KernelReport, MutexExt, SyncModel, atomic_vec, partition, snapshot};
 use crate::{KernelError, Result};
 
 /// A sparse observed rating.
@@ -141,7 +141,7 @@ pub fn train(
         .map(|_| rng.uniform_in(0.0, scale))
         .collect();
     let mut history = Vec::with_capacity(cfg.epochs);
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
 
     match model {
         SyncModel::Locking => {
@@ -154,17 +154,17 @@ pub fn train(
                         let shard = shard.clone();
                         s.spawn(move || {
                             for i in shard {
-                                let mut guard = state.lock();
+                                let mut guard = state.plock();
                                 let (u, q) = &mut *guard;
                                 coordinate_pass(u, q, cfg.rank, &ratings[i], cfg.lr, cfg.l2);
                             }
                         });
                     }
                 });
-                let guard = state.lock();
+                let guard = state.plock();
                 history.push(rmse(ratings, &guard.0, &guard.1, cfg.rank));
             }
-            let (fu, fq) = state.into_inner();
+            let (fu, fq) = state.into_data();
             u = fu;
             q = fq;
         }
@@ -235,11 +235,11 @@ pub fn train(
                                     cfg.l2,
                                 );
                             }
-                            partials.lock().push((lu, lq, len));
+                            partials.plock().push((lu, lq, len));
                         });
                     }
                 });
-                let partials = partials.into_inner();
+                let partials = partials.into_data();
                 let total: f64 = partials.iter().map(|p| p.2 as f64).sum();
                 if total > 0.0 {
                     u.iter_mut().for_each(|v| *v = 0.0);
@@ -302,7 +302,7 @@ pub fn train(
                 .collect();
             // u is sharded by rows too; avoid a global lock by splitting.
             let u_shards: Vec<Mutex<Vec<f64>>> = {
-                let guard = u_cell.lock();
+                let guard = u_cell.plock();
                 user_shards
                     .iter()
                     .map(|r| {
@@ -328,8 +328,8 @@ pub fn train(
                             for step in 0..cfg.threads {
                                 let b = (t + step) % cfg.threads;
                                 {
-                                    let mut ug = u_shards[t].lock();
-                                    let mut qg = q_blocks[b].lock();
+                                    let mut ug = u_shards[t].plock();
+                                    let mut qg = q_blocks[b].plock();
                                     let u_off = user_shards[t].start;
                                     let q_off = item_blocks[b].start;
                                     for &idx in &strata[t][b] {
@@ -359,22 +359,22 @@ pub fn train(
                 let mut fu = vec![0.0; n_users * cfg.rank];
                 for (r, shard) in user_shards.iter().zip(u_shards.iter()) {
                     fu[r.start * cfg.rank..r.end * cfg.rank]
-                        .copy_from_slice(&shard.lock());
+                        .copy_from_slice(&shard.plock());
                 }
                 let mut fq = vec![0.0; n_items * cfg.rank];
                 for (r, block) in item_blocks.iter().zip(q_blocks.iter()) {
                     fq[r.start * cfg.rank..r.end * cfg.rank]
-                        .copy_from_slice(&block.lock());
+                        .copy_from_slice(&block.plock());
                 }
                 history.push(rmse(ratings, &fu, &fq, cfg.rank));
             }
             let mut fu = vec![0.0; n_users * cfg.rank];
             for (r, shard) in user_shards.iter().zip(u_shards.iter()) {
-                fu[r.start * cfg.rank..r.end * cfg.rank].copy_from_slice(&shard.lock());
+                fu[r.start * cfg.rank..r.end * cfg.rank].copy_from_slice(&shard.plock());
             }
             let mut fq = vec![0.0; n_items * cfg.rank];
             for (r, block) in item_blocks.iter().zip(q_blocks.iter()) {
-                fq[r.start * cfg.rank..r.end * cfg.rank].copy_from_slice(&block.lock());
+                fq[r.start * cfg.rank..r.end * cfg.rank].copy_from_slice(&block.plock());
             }
             u = fu;
             q = fq;

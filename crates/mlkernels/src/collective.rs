@@ -61,7 +61,10 @@ pub fn allreduce_tree(inputs: &[Vec<f64>]) -> Vec<f64> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
         });
         next.extend(combined);
         if let Some(idx) = leftover {
@@ -69,7 +72,7 @@ pub fn allreduce_tree(inputs: &[Vec<f64>]) -> Vec<f64> {
         }
         layer = next;
     }
-    layer.pop().expect("single survivor")
+    layer.pop().unwrap_or_default()
 }
 
 /// Ring allreduce: reduce-scatter then all-gather over vector chunks.

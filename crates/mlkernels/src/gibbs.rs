@@ -9,11 +9,11 @@
 //!
 //! The objective reported per sweep is the negative average log-likelihood.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use le_linalg::Rng;
 
-use crate::sync::{atomic_vec, partition, snapshot, KernelReport, SyncModel};
+use crate::sync::{KernelReport, MutexExt, SyncModel, atomic_vec, partition, snapshot};
 use crate::{KernelError, Result};
 
 /// Gibbs sampler configuration.
@@ -104,7 +104,7 @@ pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f
     let shards = partition(data.len(), cfg.threads);
     // Pre-split per-worker RNGs per sweep for determinism where possible.
     let mut history = Vec::with_capacity(cfg.sweeps);
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
 
     for sweep in 0..cfg.sweeps {
         // Per-worker RNG seeds (deterministic).
@@ -124,14 +124,14 @@ pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f
                             let mut rng = Rng::new(seed);
                             for i in shard {
                                 let z = sample_assignment(data[i], means, cfg.sigma, &mut rng);
-                                let mut guard = acc.lock();
+                                let mut guard = acc.plock();
                                 guard.0[z] += data[i];
                                 guard.1[z] += 1.0;
                             }
                         });
                     }
                 });
-                acc.into_inner()
+                acc.into_data()
             }
             SyncModel::Asynchronous => {
                 let sums = atomic_vec(&vec![0.0; cfg.k]);
@@ -172,13 +172,13 @@ pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f
                                 sums[z] += data[i];
                                 counts[z] += 1.0;
                             }
-                            partials.lock().push((sums, counts));
+                            partials.plock().push((sums, counts));
                         });
                     }
                 });
                 let mut sums = vec![0.0; cfg.k];
                 let mut counts = vec![0.0; cfg.k];
-                for (ps, pc) in partials.into_inner() {
+                for (ps, pc) in partials.into_data() {
                     for (a, &b) in sums.iter_mut().zip(ps.iter()) {
                         *a += b;
                     }
@@ -217,7 +217,7 @@ pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f
                             for step in 0..cfg.threads {
                                 let b = (t + step) % cfg.threads;
                                 {
-                                    let mut guard = shard_stats[b].lock();
+                                    let mut guard = shard_stats[b].plock();
                                     let (gs, gc) = &mut *guard;
                                     for (local, c) in comp_shards[b].clone().enumerate() {
                                         gs[local] += sums[c];
@@ -232,7 +232,7 @@ pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f
                 let mut sums = vec![0.0; cfg.k];
                 let mut counts = vec![0.0; cfg.k];
                 for (cs, stats) in comp_shards.iter().zip(shard_stats.iter()) {
-                    let guard = stats.lock();
+                    let guard = stats.plock();
                     for (local, c) in cs.clone().enumerate() {
                         sums[c] = guard.0[local];
                         counts[c] = guard.1[local];
@@ -250,7 +250,7 @@ pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f
         }
         history.push(neg_log_likelihood(data, &means, cfg.sigma));
     }
-    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    means.sort_by(|a, b| a.total_cmp(b));
     Ok((
         means,
         KernelReport {

@@ -16,11 +16,11 @@
 //! which the tests check. They differ in synchronization cost, which the
 //! E7 bench measures.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use le_linalg::Rng;
 
-use crate::sync::{atomic_vec, partition, snapshot, KernelReport, SyncModel};
+use crate::sync::{KernelReport, MutexExt, SyncModel, atomic_vec, partition, snapshot};
 use crate::{KernelError, Result};
 
 /// K-means configuration.
@@ -143,7 +143,7 @@ pub fn train(
     let mut centroids = init_centroids(data, cfg.k, &mut rng);
     let shards = partition(data.len(), cfg.threads);
     let mut history = Vec::with_capacity(cfg.iterations);
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
 
     for _iter in 0..cfg.iterations {
         let (sums, counts) = match model {
@@ -157,14 +157,14 @@ pub fn train(
                         s.spawn(move || {
                             for i in shard {
                                 let (c, _) = nearest(&data[i], centroids);
-                                let mut guard = acc.lock();
+                                let mut guard = acc.plock();
                                 let (sums, counts) = &mut *guard;
                                 fold_stats(sums, counts, &data[i], c);
                             }
                         });
                     }
                 });
-                acc.into_inner()
+                acc.into_data()
             }
             SyncModel::Asynchronous => {
                 let sums = atomic_vec(&vec![0.0; cfg.k * d]);
@@ -202,14 +202,14 @@ pub fn train(
                                 let (c, _) = nearest(&data[i], centroids);
                                 fold_stats(&mut sums, &mut counts, &data[i], c);
                             }
-                            partials.lock().push((sums, counts));
+                            partials.plock().push((sums, counts));
                         });
                     }
                 });
                 // Reduce.
                 let mut sums = vec![0.0; cfg.k * d];
                 let mut counts = vec![0.0; cfg.k];
-                for (ps, pc) in partials.into_inner() {
+                for (ps, pc) in partials.into_data() {
                     for (a, &b) in sums.iter_mut().zip(ps.iter()) {
                         *a += b;
                     }
@@ -250,7 +250,7 @@ pub fn train(
                                 let b = (t + step) % cfg.threads;
                                 let cs = cluster_shards[b].clone();
                                 {
-                                    let mut guard = shard_stats[b].lock();
+                                    let mut guard = shard_stats[b].plock();
                                     let (gs, gc) = &mut *guard;
                                     for (local_c, c) in cs.clone().enumerate() {
                                         for j in 0..d {
@@ -268,7 +268,7 @@ pub fn train(
                 let mut sums = vec![0.0; cfg.k * d];
                 let mut counts = vec![0.0; cfg.k];
                 for (cs, stats) in cluster_shards.iter().zip(shard_stats.iter()) {
-                    let guard = stats.lock();
+                    let guard = stats.plock();
                     let (gs, gc) = &*guard;
                     for (local_c, c) in cs.clone().enumerate() {
                         for j in 0..d {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 // Indexed loops over small fixed dimensions (k in 0..3, stencils) are the
 // clearer idiom in numeric kernels; silence the pedantic lint crate-wide.
 #![allow(clippy::needless_range_loop)]
@@ -12,8 +14,9 @@
 //! Descent (CCD) and K-means clustering".
 //!
 //! This crate implements exactly that matrix — four kernels × four
-//! synchronization models — from scratch on `std::thread`, `parking_lot`
-//! locks, `crossbeam` channels, and atomics:
+//! synchronization models — from scratch on `std::thread` scoped workers,
+//! `std::sync` locks, and atomics (the workspace is hermetic: no external
+//! crates anywhere, see `le-lint` rule L1):
 //!
 //! * [`sync`] — the [`sync::SyncModel`] taxonomy, an atomic `f64` cell for
 //!   Hogwild-style updates, and shared convergence-history plumbing.
@@ -33,10 +36,11 @@ pub mod ccd;
 pub mod collective;
 pub mod gibbs;
 pub mod kmeans;
+pub mod pool;
 pub mod sgd;
 pub mod sync;
 
-pub use sync::{KernelReport, SyncModel};
+pub use sync::{KernelReport, MutexExt, SyncModel};
 
 /// Errors from the kernels crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,105 @@
+//! Chunked fork-join parallelism on `std::thread::scope`.
+//!
+//! The workspace is dependency-free, so the `rayon` parallel iterators the
+//! simulators and trainers used to rely on are replaced by these helpers.
+//! Work is split into one contiguous chunk per worker; each worker maps its
+//! chunk into a local `Vec`, and the chunks are stitched back together in
+//! index order, so results are deterministic regardless of thread count or
+//! interleaving (each item's closure must itself be deterministic in its
+//! index, which the seeded-RNG convention guarantees).
+
+/// Worker count: the machine's available parallelism, or 1 if unknown.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n` in parallel, preserving index order.
+///
+/// Equivalent to `(0..n).map(f).collect()` but chunked across
+/// [`default_threads`] scoped workers. A panic in `f` is propagated to the
+/// caller (as the sequential loop would).
+pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = default_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    let chunk = n.div_ceil(threads);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Map `f` over a slice in parallel, preserving order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_index(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_index_matches_sequential() {
+        let par = par_map_index(1000, |i| i * i);
+        let seq: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<i64> = (0..513).collect();
+        let par = par_map(&items, |&x| x * 3 - 1);
+        let seq: Vec<i64> = items.iter().map(|&x| x * 3 - 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_index(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_index(1, |i| i + 7), vec![7]);
+        assert_eq!(par_map::<i32, i32, _>(&[], |&x| x), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn results_collect_into_result() {
+        let r: Result<Vec<usize>, String> =
+            par_map_index(64, |i| if i == 63 { Err("boom".to_string()) } else { Ok(i) })
+                .into_iter()
+                .collect();
+        assert!(r.is_err());
+        let ok: Result<Vec<usize>, String> =
+            par_map_index(64, Ok).into_iter().collect();
+        assert_eq!(ok.map(|v| v.len()), Ok(64));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

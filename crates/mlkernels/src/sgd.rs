@@ -4,12 +4,12 @@
 //! Labels are ±1; the objective is
 //! `mean ln(1 + exp(−y·w·x)) + (λ/2)‖w‖²`.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Barrier;
 
 use le_linalg::Rng;
 
-use crate::sync::{atomic_vec, partition, snapshot, KernelReport, SyncModel};
+use crate::sync::{KernelReport, MutexExt, SyncModel, atomic_vec, partition, snapshot};
 use crate::{KernelError, Result};
 
 /// SGD hyperparameters.
@@ -119,7 +119,7 @@ pub fn train(
     let d = validate(x, y, cfg)?;
     let shards = partition(x.len(), cfg.threads);
     let mut history = Vec::with_capacity(cfg.epochs);
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
     let w_final = match model {
         SyncModel::Locking => {
             let w = Mutex::new(vec![0.0; d]);
@@ -134,15 +134,15 @@ pub fn train(
                             let mut order: Vec<usize> = shard.collect();
                             rng.shuffle(&mut order);
                             for i in order {
-                                let mut guard = w.lock();
+                                let mut guard = w.plock();
                                 sgd_step(&mut guard, &x[i], y[i], cfg.lr, cfg.l2);
                             }
                         });
                     }
                 });
-                history.push(objective(x, y, &w.lock(), cfg.l2));
+                history.push(objective(x, y, &w.plock(), cfg.l2));
             }
-            w.into_inner()
+            w.into_data()
         }
         SyncModel::Asynchronous => {
             let w = atomic_vec(&vec![0.0; d]);
@@ -169,7 +169,7 @@ pub fn train(
                                     w.iter().zip(local.iter()).zip(before.iter())
                                 {
                                     let delta = new - old;
-                                    if delta != 0.0 {
+                                    if delta != 0.0 { // lint:allow(float-hygiene): Hogwild write-skip, exact zero deltas carry no update
                                         a.fetch_add(delta);
                                     }
                                 }
@@ -199,12 +199,12 @@ pub fn train(
                             for i in order {
                                 sgd_step(&mut local, &x[i], y[i], cfg.lr, cfg.l2);
                             }
-                            replicas.lock()[t] = local;
+                            replicas.plock()[t] = local;
                         });
                     }
                 });
                 // Allreduce: average the replicas (weighting by shard size).
-                let replicas = replicas.into_inner();
+                let replicas = replicas.into_data();
                 let mut avg = vec![0.0; d];
                 let total: f64 = shards.iter().map(|r| r.len() as f64).sum();
                 for (replica, shard) in replicas.iter().zip(shards.iter()) {
@@ -262,7 +262,7 @@ pub fn train(
                                 // Pull the current block into the local
                                 // cache.
                                 {
-                                    let guard = blocks_out.lock();
+                                    let guard = blocks_out.plock();
                                     cache[range.clone()].copy_from_slice(&guard[b]);
                                 }
                                 // Update only the owned block coordinates
@@ -279,7 +279,7 @@ pub fn train(
                                 }
                                 // Publish the updated block.
                                 {
-                                    let mut guard = blocks_out.lock();
+                                    let mut guard = blocks_out.plock();
                                     guard[b].copy_from_slice(&cache[range.clone()]);
                                 }
                                 barrier.wait();
@@ -287,7 +287,7 @@ pub fn train(
                         });
                     }
                 });
-                block_data = blocks_out.into_inner();
+                block_data = blocks_out.into_data();
                 let mut w = vec![0.0; d];
                 for (b, data) in blocks.iter().zip(block_data.iter()) {
                     w[b.clone()].copy_from_slice(data);

@@ -1,6 +1,31 @@
 //! The four synchronization models and shared parallel plumbing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Poison-recovering access to [`std::sync::Mutex`].
+///
+/// The kernels treat a panicked worker as fatal to the run's statistics but
+/// not to the process: the data under the lock is plain numeric state, so
+/// recovery is always safe, and library code stays panic-free.
+pub trait MutexExt<T> {
+    /// Lock, recovering the guard if a previous holder panicked.
+    fn plock(&self) -> MutexGuard<'_, T>;
+    /// Consume the mutex and return its data, ignoring poison.
+    fn into_data(self) -> T;
+}
+
+impl<T> MutexExt<T> for Mutex<T> {
+    #[inline]
+    fn plock(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[inline]
+    fn into_data(self) -> T {
+        self.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// The paper's four computation models for parallel iterative ML.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

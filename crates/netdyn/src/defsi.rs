@@ -18,9 +18,9 @@
 //!    *county-level* incidence.
 
 use le_linalg::{Matrix, Rng};
+use le_mlkernels::pool;
 use le_nn::optimizer::OptimizerState;
 use le_nn::{Loss, Mlp, MlpConfig, Optimizer, Scaler};
-use rayon::prelude::*;
 
 use crate::epifast::EpiFast;
 use crate::population::Population;
@@ -70,9 +70,7 @@ pub fn generate_synthetic_seasons(
     if n_seasons == 0 {
         return Err(NetError::InvalidConfig("need at least one season".into()));
     }
-    (0..n_seasons)
-        .into_par_iter()
-        .map(|s| {
+    pool::par_map_index(n_seasons, |s| {
             let mut rng = Rng::new(seed.wrapping_add(s as u64).wrapping_mul(0x9E37_79B9));
             let tau = (tau_mean + tau_std * rng.gaussian()).clamp(0.005, 0.5);
             let cfg = SeirConfig {
@@ -90,8 +88,9 @@ pub fn generate_synthetic_seasons(
                 observed_state: sv.observe_state(&outcome, rng.next_u64()),
                 county_truth: Surveillance::true_weekly_by_county(&outcome),
             })
-        })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// The two-branch architecture. Branch A sees the recent observation
@@ -379,7 +378,7 @@ impl TwoBranchNet {
         if horizon == 0 {
             return Err(NetError::InvalidConfig("horizon must be ≥ 1".into()));
         }
-        if !(0.0..=1.0).contains(&reporting_fraction) || reporting_fraction == 0.0 {
+        if !(0.0..=1.0).contains(&reporting_fraction) || le_linalg::approx::approx_eq(reporting_fraction, 0.0) {
             return Err(NetError::InvalidConfig(format!(
                 "reporting fraction {reporting_fraction} must be in (0, 1]"
             )));

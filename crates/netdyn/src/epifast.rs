@@ -5,7 +5,7 @@
 //! paper ref \[19\].
 
 use le_linalg::Rng;
-use rayon::prelude::*;
+use le_mlkernels::pool;
 
 use crate::population::Population;
 use crate::seir::{simulate_ensemble, SeirConfig};
@@ -54,16 +54,14 @@ impl EpiFast {
             .iter()
             .map(|&v| v / self.reporting_fraction)
             .collect();
-        let scored: Vec<(f64, f64)> = self
-            .tau_grid
-            .par_iter()
-            .map(|&tau| {
+        let scored: Vec<(f64, f64)> =
+            pool::par_map(&self.tau_grid, |&tau| {
                 let cfg = SeirConfig {
                     transmissibility: tau,
                     ..self.base
                 };
                 let out = simulate_ensemble(pop, &cfg, self.calib_replicates, seed)
-                    .expect("validated config");
+                    .expect("validated config"); // lint:allow(no-panic): config validated before calibration starts
                 let weekly = crate::seir::SeirOutcome::weekly(&out.state_incidence());
                 let k = target.len().min(weekly.len());
                 let rmse = if k == 0 {
@@ -78,11 +76,10 @@ impl EpiFast {
                         .sqrt()
                 };
                 (tau, rmse)
-            })
-            .collect();
+            });
         scored
             .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite rmse"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .ok_or_else(|| NetError::Internal("empty tau grid".into()))
     }
 

@@ -30,8 +30,10 @@ impl Graph {
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);
-        for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+        let mut acc = 0;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
         }
         let mut targets = vec![0u32; offsets[n]];
         let mut cursor = offsets[..n].to_vec();

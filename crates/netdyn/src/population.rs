@@ -69,9 +69,11 @@ impl Population {
         let mut county = Vec::with_capacity(n);
         let mut county_start = Vec::with_capacity(n_counties + 1);
         county_start.push(0usize);
+        let mut acc = 0usize;
         for (c, &size) in config.county_sizes.iter().enumerate() {
             county.extend(std::iter::repeat_n(c as u16, size));
-            county_start.push(county_start.last().unwrap() + size);
+            acc += size;
+            county_start.push(acc);
         }
         let mut edges: Vec<(u32, u32)> = Vec::new();
         // Within-county: ER with p = mean_degree / (size - 1).

@@ -175,7 +175,7 @@ pub fn simulate(pop: &Population, config: &SeirConfig, seed: u64) -> Result<Seir
     let peak_day = state_series
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite incidence"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     Ok(SeirOutcome {
@@ -197,10 +197,11 @@ pub fn simulate_ensemble(
     if n_replicates == 0 {
         return Err(NetError::InvalidConfig("need at least one replicate".into()));
     }
-    use rayon::prelude::*;
-    let outcomes: Result<Vec<SeirOutcome>> = (0..n_replicates)
-        .into_par_iter()
-        .map(|r| simulate(pop, config, seed.wrapping_add(r as u64).wrapping_mul(0x1234_5677)))
+    let outcomes: Result<Vec<SeirOutcome>> =
+        le_mlkernels::pool::par_map_index(n_replicates, |r| {
+            simulate(pop, config, seed.wrapping_add(r as u64).wrapping_mul(0x1234_5677))
+        })
+        .into_iter()
         .collect();
     let outcomes = outcomes?;
     let mut incidence = vec![vec![0.0; config.days]; pop.n_counties];
@@ -225,7 +226,7 @@ pub fn simulate_ensemble(
     let peak_day = state_series
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     Ok(SeirOutcome {

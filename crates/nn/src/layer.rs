@@ -254,7 +254,7 @@ impl Dropout {
 
     /// Stochastic forward (training or MC-dropout inference).
     pub fn forward(&mut self, x: &Matrix, rng: &mut Rng) -> Matrix {
-        if self.rate == 0.0 {
+        if self.rate == 0.0 { // lint:allow(float-hygiene): exact-zero rate disables dropout entirely
             self.mask = None;
             return x.clone();
         }
@@ -267,7 +267,7 @@ impl Dropout {
                 *m = if rng.bernoulli(keep) { scale } else { 0.0 };
             }
         }
-        let out = x.hadamard(&mask).expect("same shape by construction");
+        let out = x.hadamard(&mask).expect("same shape by construction"); // lint:allow(no-panic): mask sampled with the input's shape
         self.mask = Some(mask);
         out
     }
@@ -282,7 +282,7 @@ impl Dropout {
     /// scaling.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         match self.mask.take() {
-            Some(mask) => grad_out.hadamard(&mask).expect("same shape"),
+            Some(mask) => grad_out.hadamard(&mask).expect("same shape"), // lint:allow(no-panic): mask cached from the forward pass
             None => grad_out.clone(),
         }
     }

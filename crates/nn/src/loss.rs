@@ -28,10 +28,10 @@ impl Loss {
                 target.shape()
             )));
         }
-        let n = (pred.rows() * pred.cols()) as f64;
-        if n == 0.0 {
+        if pred.rows() * pred.cols() == 0 {
             return Err(NnError::Shape("loss on empty batch".into()));
         }
+        let n = (pred.rows() * pred.cols()) as f64;
         let mut grad = Matrix::zeros(pred.rows(), pred.cols());
         let mut total = 0.0;
         let gs = grad.as_mut_slice();
@@ -69,10 +69,10 @@ impl Loss {
                 target.shape()
             )));
         }
-        let n = (pred.rows() * pred.cols()) as f64;
-        if n == 0.0 {
+        if pred.rows() * pred.cols() == 0 {
             return Err(NnError::Shape("loss on empty batch".into()));
         }
+        let n = (pred.rows() * pred.cols()) as f64;
         let mut total = 0.0;
         for (&p, &t) in pred.as_slice().iter().zip(target.as_slice().iter()) {
             let e = p - t;

@@ -107,7 +107,7 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
-        *self.config.layers.last().expect("validated non-empty")
+        *self.config.layers.last().expect("validated non-empty") // lint:allow(no-panic): config validated at construction
     }
 
     /// Total trainable parameter count.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! `le-perfmodel` — the paper's *effective performance* analytics (§III-D).
 //!
 //! The central formula of the paper:

@@ -59,7 +59,7 @@ pub fn effective_speedup(
     n_train: f64,
 ) -> Result<EffectiveSpeedup> {
     times.validate()?;
-    if n_lookup < 0.0 || n_train < 0.0 || (n_lookup + n_train) == 0.0 {
+    if n_lookup < 0.0 || n_train < 0.0 || (n_lookup + n_train) == 0.0 { // lint:allow(float-hygiene): integer-valued counts, zero total is exact
         return Err(PerfError::Invalid(format!(
             "need non-negative counts with a positive total: N_lookup={n_lookup}, N_train={n_train}"
         )));

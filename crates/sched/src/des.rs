@@ -151,7 +151,7 @@ pub fn simulate(workload: &Workload, n_workers: usize, policy: Policy) -> Result
                                     + (workers[b].busy_until - now).max(0.0);
                                 da.total_cmp(&db)
                             })
-                            .expect("n_workers > 0");
+                            .expect("n_workers > 0"); // lint:allow(no-panic): worker count validated at sim start
                         if worker_free[w] {
                             start!(w, idx, events);
                         } else {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! `le-sched` — a discrete-event scheduler simulator for the heterogeneous
 //! workloads MLaroundHPC creates (research issues 7–8 of the paper).
 //!

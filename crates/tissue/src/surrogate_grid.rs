@@ -195,7 +195,8 @@ impl TransportSurrogate {
                 triples.push((before, sources, model.nutrient.clone()));
             }
         }
-        let solver = solver_opt.expect("at least one seed");
+        let solver = solver_opt
+            .ok_or_else(|| TissueError::InvalidConfig("training needs at least one seed".into()))?;
         // Random-field augmentation for out-of-trajectory coverage.
         let mut rng = Rng::new(cfg.seed ^ 0x7777);
         let n_random = ((triples.len() as f64) * random_fraction).round() as usize;

@@ -3,12 +3,12 @@
 //! independent initializations, trained on the same data (optionally
 //! bootstrap-resampled); the member spread estimates epistemic uncertainty.
 //!
-//! Members train in parallel with Rayon — each member carries its own RNG
+//! Members train in parallel on scoped threads — each member carries its own RNG
 //! split up front so the result is identical at any thread count.
 
 use le_linalg::{Matrix, Rng};
+use le_mlkernels::pool;
 use le_nn::{Mlp, MlpConfig, TrainConfig, Trainer};
-use rayon::prelude::*;
 
 use crate::{Prediction, UncertainModel};
 
@@ -39,9 +39,8 @@ impl DeepEnsemble {
                 "ensemble needs at least one member".into(),
             ));
         }
-        let members: le_nn::Result<Vec<Mlp>> = (0..n_members)
-            .into_par_iter()
-            .map(|i| {
+        let members: le_nn::Result<Vec<Mlp>> =
+            pool::par_map_index(n_members, |i| {
                 let member_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
                 let mut rng = Rng::new(member_seed);
                 let (xi, yi) = if bootstrap {
@@ -59,6 +58,7 @@ impl DeepEnsemble {
                 trainer.fit(&mut model, &xi, &yi)?;
                 Ok(model)
             })
+            .into_iter()
             .collect();
         Ok(Self { members: members? })
     }
@@ -91,7 +91,7 @@ impl DeepEnsemble {
         let preds: Vec<Matrix> = self
             .members
             .iter()
-            .map(|m| m.predict(x).expect("shape checked by caller"))
+            .map(|m| m.predict(x).expect("shape checked by caller")) // lint:allow(no-panic): ensemble entry validates the shape
             .collect();
         (0..x.rows())
             .map(|r| {
@@ -123,12 +123,12 @@ impl DeepEnsemble {
 
 impl UncertainModel for DeepEnsemble {
     fn predict_with_uncertainty(&mut self, x: &[f64]) -> Prediction {
-        let xm = Matrix::from_vec(1, x.len(), x.to_vec()).expect("1-row input");
+        let xm = Matrix::from_vec(1, x.len(), x.to_vec()).expect("1-row input"); // lint:allow(no-panic): 1-row matrix from a slice always succeeds
         self.predict_batch(&xm).remove(0)
     }
 
     fn predict_point(&self, x: &[f64]) -> Vec<f64> {
-        let xm = Matrix::from_vec(1, x.len(), x.to_vec()).expect("1-row input");
+        let xm = Matrix::from_vec(1, x.len(), x.to_vec()).expect("1-row input"); // lint:allow(no-panic): 1-row matrix from a slice always succeeds
         self.predict_batch(&xm).remove(0).mean
     }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! `le-uq` — uncertainty quantification for learned surrogates (§III-B).
 //!
 //! A learned surrogate must report not just the result of a simulation but

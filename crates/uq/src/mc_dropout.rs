@@ -40,14 +40,14 @@ impl McDropout {
 
     /// Raw MC samples for one input: an `(n_samples, out_dim)` matrix.
     pub fn sample(&mut self, x: &[f64]) -> Matrix {
-        let xm = Matrix::from_vec(1, x.len(), x.to_vec()).expect("1-row input");
+        let xm = Matrix::from_vec(1, x.len(), x.to_vec()).expect("1-row input"); // lint:allow(no-panic): 1-row matrix from a slice always succeeds
         let out_dim = self.model.out_dim();
         let mut samples = Matrix::zeros(self.n_samples, out_dim);
         for i in 0..self.n_samples {
             let y = self
                 .model
                 .predict_mc(&xm, &mut self.rng)
-                .expect("shape checked by caller");
+                .expect("shape checked by caller"); // lint:allow(no-panic): public entry validates the shape
             samples.row_mut(i).copy_from_slice(y.row(0));
         }
         samples
@@ -62,7 +62,7 @@ impl McDropout {
             let y = self
                 .model
                 .predict_mc(x, &mut self.rng)
-                .expect("shape checked by caller");
+                .expect("shape checked by caller"); // lint:allow(no-panic): public entry validates the shape
             for r in 0..x.rows() {
                 for (c, &v) in y.row(r).iter().enumerate() {
                     sums[r][c] += v;
@@ -114,7 +114,7 @@ impl UncertainModel for McDropout {
     }
 
     fn predict_point(&self, x: &[f64]) -> Vec<f64> {
-        self.model.predict_one(x).expect("shape checked by caller")
+        self.model.predict_one(x).expect("shape checked by caller") // lint:allow(no-panic): public entry validates the shape
     }
 
     fn out_dim(&self) -> usize {

@@ -11,7 +11,6 @@ use le_linalg::{stats, Matrix, Rng};
 use le_mdsim::nanoconfinement::NanoParams;
 use le_mdsim::{NanoSim, SimConfig};
 use learning_everywhere::surrogate::{NnSurrogate, SurrogateConfig};
-use rayon::prelude::*;
 
 fn main() {
     let sim = NanoSim::new(SimConfig::fast());
@@ -26,11 +25,10 @@ fn main() {
         .map(|_| NanoParams::sample(&mut rng))
         .collect();
     let t0 = std::time::Instant::now();
-    let results: Vec<Vec<f64>> = params
-        .par_iter()
-        .enumerate()
-        .map(|(i, p)| sim.run(p, 1000 + i as u64).expect("valid params").0.to_vec())
-        .collect();
+    let results: Vec<Vec<f64>> =
+        le_mlkernels::pool::par_map_index(params.len(), |i| {
+            sim.run(&params[i], 1000 + i as u64).expect("valid params").0.to_vec()
+        });
     let sim_wall = t0.elapsed().as_secs_f64();
     let per_sim = sim_wall / (n_train + n_test) as f64;
     println!("  {sim_wall:.1}s total, {:.1} ms/simulation", per_sim * 1e3);

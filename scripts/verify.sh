@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# The repo's single verification gate: hermetic build, full test suite,
+# and the workspace lint rules. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo run -p le-lint -- check"
+cargo run -q -p le-lint --offline -- check
+
+echo "verify: OK"

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! `learning-everywhere-repro` — glue for the examples, integration tests,
 //! and benches: adapters that plug the workspace's simulation substrates
 //! into the [`learning_everywhere::Simulator`] trait.

