@@ -34,4 +34,5 @@ fn main() {
             BENCH_SEED,
         )
     });
+    h.finish("active_learning");
 }

@@ -72,4 +72,5 @@ fn main() {
     h.bench("e3/autotuner_suggestion_per_point", || {
         tuner.suggest(black_box(&probe)).unwrap()
     });
+    h.finish("autotune");
 }

@@ -33,9 +33,8 @@ fn main() {
         h.bench(&format!("ablation_neighbor_search/cell_list/{n}"), || {
             let cl = CellList::build(bbox, cutoff, black_box(&pos));
             let mut count = 0usize;
-            cl.for_each_pair(|i, j| {
-                let d = bbox.min_image(&pos[i], &pos[j]);
-                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= cutoff * cutoff {
+            cl.for_each_pair_dist(&pos, |_i, _j, _d, r2| {
+                if r2 <= cutoff * cutoff {
                     count += 1;
                 }
             });
@@ -54,4 +53,5 @@ fn main() {
             count
         });
     }
+    h.finish("celllist");
 }

@@ -53,4 +53,5 @@ fn main() {
     h.bench("e4/defsi_forecast_call", || {
         net.forecast_counties(black_box(&observed[..6]), 12).unwrap()
     });
+    h.finish("defsi");
 }

@@ -19,11 +19,12 @@ fn times() -> SpeedupTimes {
 
 fn main() {
     let t = times();
-    let h = Harness::with_samples(20);
+    let h = Harness::new();
     h.bench("e1/formula_single_eval", || {
         effective_speedup(black_box(&t), black_box(1e6), black_box(100.0)).unwrap()
     });
     h.bench("e1/ratio_sweep_8_decades", || {
         sweep_ratio(black_box(&t), 100.0, -2, 6, 8).unwrap()
     });
+    h.finish("effective_speedup");
 }

@@ -32,4 +32,5 @@ fn main() {
     h.bench("e2/surrogate_lookup_with_uq_gate", || {
         surrogate.predict_with_uncertainty(black_box(&feats)).unwrap()
     });
+    h.finish("nanoconfinement");
 }

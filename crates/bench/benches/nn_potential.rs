@@ -38,4 +38,5 @@ fn main() {
             pot.energy(black_box(&pos))
         });
     }
+    h.finish("nn_potential");
 }

@@ -29,4 +29,5 @@ fn main() {
             simulate(black_box(&workload), 8, policy).unwrap()
         });
     }
+    h.finish("scheduling");
 }

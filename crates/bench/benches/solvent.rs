@@ -27,4 +27,5 @@ fn main() {
         let pmf = PmfPotential::train(&samples, BENCH_SEED).expect("trains");
         h.bench("e10/pmf_force_eval", || pmf.force(black_box(0.8)));
     }
+    h.finish("solvent");
 }

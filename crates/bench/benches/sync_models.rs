@@ -62,4 +62,5 @@ fn bench_collectives(h: &Harness) {
     h.bench("e7_allreduce_8x100k/flat", || allreduce_flat(black_box(&inputs)));
     h.bench("e7_allreduce_8x100k/tree", || allreduce_tree(black_box(&inputs)));
     h.bench("e7_allreduce_8x100k/ring", || allreduce_ring(black_box(&inputs)));
+    h.finish("sync_models");
 }

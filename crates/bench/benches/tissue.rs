@@ -43,4 +43,5 @@ fn main() {
     h.bench("e9/surrogate_burst", || {
         surrogate.advance(black_box(&field), black_box(&sources)).unwrap()
     });
+    h.finish("tissue");
 }

@@ -18,7 +18,7 @@ fn main() {
     eprintln!("running {n_total} MD simulations…");
     let t0 = std::time::Instant::now();
     let outputs: Vec<Vec<f64>> =
-        le_mlkernels::pool::par_map_index(params.len(), |i| {
+        le_pool::par_map_index(params.len(), |i| {
             sim.run(&params[i], BENCH_SEED ^ (i as u64 + 1)).expect("valid").0.to_vec()
         });
     let per_sim = t0.elapsed().as_secs_f64() / n_total as f64;

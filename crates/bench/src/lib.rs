@@ -24,7 +24,7 @@ pub fn nano_dataset(n: usize, seed: u64) -> (Vec<NanoParams>, Vec<Vec<f64>>) {
     let mut rng = Rng::new(seed);
     let params: Vec<NanoParams> = (0..n).map(|_| NanoParams::sample(&mut rng)).collect();
     let outputs: Vec<Vec<f64>> =
-        le_mlkernels::pool::par_map_index(params.len(), |i| {
+        le_pool::par_map_index(params.len(), |i| {
             sim.run(&params[i], seed ^ (i as u64 + 1)).expect("valid params").0.to_vec() // lint:allow(no-panic): fixture params are constructed valid above
         });
     (params, outputs)

@@ -5,13 +5,39 @@
 //! batch, then `samples` batches are timed and the per-iteration median,
 //! minimum, and maximum are reported. Medians make the numbers robust to
 //! scheduler noise without Criterion's full bootstrap machinery.
+//!
+//! CLI flags (passed after `--`, e.g. `cargo bench -p le-bench --bench
+//! celllist -- --json --samples 3`; unknown flags are ignored so harness
+//! arguments injected by cargo pass through):
+//!
+//! * `--json` — record every measurement and have [`Harness::finish`] write
+//!   `results/BENCH_<name>.json` at the workspace root.
+//! * `--samples N` — timed batches per benchmark (default 10).
 
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// One recorded measurement (all values are seconds per iteration).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark entry name, e.g. `e6/reference_energy/16`.
+    pub name: String,
+    /// Median of the per-sample means.
+    pub median_s: f64,
+    /// Fastest sample.
+    pub min_s: f64,
+    /// Slowest sample.
+    pub max_s: f64,
+    /// Iterations per timed batch.
+    pub iters: usize,
+}
 
 /// A named group of timing measurements.
 pub struct Harness {
     samples: usize,
+    json: bool,
+    recorded: RefCell<Vec<Measurement>>,
 }
 
 impl Default for Harness {
@@ -21,16 +47,45 @@ impl Default for Harness {
 }
 
 impl Harness {
-    /// Harness with the default 10 samples per benchmark.
+    /// Harness configured from the process arguments (`--json`,
+    /// `--samples N`); defaults to 10 samples, plain text output.
     pub fn new() -> Self {
-        Self { samples: 10 }
+        let mut samples = 10usize;
+        let mut json = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => json = true,
+                "--samples" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                        samples = n.max(1);
+                    }
+                }
+                // cargo's libtest shim passes `--bench`; ignore it and
+                // anything else we don't recognize.
+                _ => {}
+            }
+        }
+        Self {
+            samples,
+            json,
+            recorded: RefCell::new(Vec::new()),
+        }
     }
 
-    /// Harness taking `samples` timed batches per benchmark.
+    /// Harness taking `samples` timed batches per benchmark, ignoring the
+    /// process arguments (used by tests).
     pub fn with_samples(samples: usize) -> Self {
         Self {
             samples: samples.max(1),
+            json: false,
+            recorded: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Whether `--json` was requested.
+    pub fn json_mode(&self) -> bool {
+        self.json
     }
 
     /// Time `f`, printing `name: median (min … max) per iter`.
@@ -59,8 +114,72 @@ impl Harness {
             fmt_time(min),
             fmt_time(max)
         );
+        self.recorded.borrow_mut().push(Measurement {
+            name: name.to_string(),
+            median_s: median,
+            min_s: min,
+            max_s: max,
+            iters,
+        });
         median
     }
+
+    /// Measurements recorded so far, in `bench` call order.
+    pub fn measurements(&self) -> Vec<Measurement> {
+        self.recorded.borrow().clone()
+    }
+
+    /// In `--json` mode, write every recorded measurement to
+    /// `results/BENCH_<name>.json` at the workspace root; otherwise a no-op.
+    /// IO failures are reported on stderr, never panicked on.
+    pub fn finish(&self, name: &str) {
+        if !self.json {
+            return;
+        }
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+        let path = format!("{dir}/BENCH_{name}.json");
+        let body = render_json(name, self.samples, &self.recorded.borrow());
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body)) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// Render the measurement set as a small self-contained JSON document.
+fn render_json(name: &str, samples: usize, entries: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", escape(name)));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (k, m) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_s\": {:e}, \"min_s\": {:e}, \"max_s\": {:e}, \"iters\": {}}}{}\n",
+            escape(&m.name),
+            m.median_s,
+            m.min_s,
+            m.max_s,
+            m.iters,
+            if k + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escape a string for a JSON literal (names are plain ASCII identifiers,
+/// but quotes and backslashes must never corrupt the document).
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Human-readable seconds.
@@ -85,6 +204,54 @@ mod tests {
         let h = Harness::with_samples(3);
         let m = h.bench("noop_sum", || (0..100u64).sum::<u64>());
         assert!(m > 0.0);
+    }
+
+    #[test]
+    fn bench_records_measurements() {
+        let h = Harness::with_samples(2);
+        h.bench("a", || 1u64 + 1);
+        h.bench("b", || 2u64 + 2);
+        let ms = h.measurements();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].name, "a");
+        assert_eq!(ms[1].name, "b");
+        assert!(ms.iter().all(|m| m.min_s <= m.median_s && m.median_s <= m.max_s));
+    }
+
+    #[test]
+    fn finish_without_json_is_a_noop() {
+        let h = Harness::with_samples(1);
+        h.bench("c", || 0u64);
+        h.finish("unit_test_noop"); // must not write anything or panic
+        assert!(!h.json_mode());
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let entries = vec![
+            Measurement {
+                name: "grp/one".into(),
+                median_s: 1.5e-6,
+                min_s: 1.0e-6,
+                max_s: 2.0e-6,
+                iters: 100,
+            },
+            Measurement {
+                name: "grp/\"two\"".into(),
+                median_s: 3.0e-3,
+                min_s: 2.5e-3,
+                max_s: 3.5e-3,
+                iters: 2,
+            },
+        ];
+        let doc = render_json("demo", 10, &entries);
+        assert!(doc.contains("\"bench\": \"demo\""));
+        assert!(doc.contains("\"samples\": 10"));
+        assert!(doc.contains("grp/one"));
+        assert!(doc.contains("\\\"two\\\""));
+        // Exactly one comma between the two entries, none trailing.
+        assert_eq!(doc.matches("},\n").count(), 1);
+        assert!(!doc.contains(",\n  ]"));
     }
 
     #[test]

@@ -6,7 +6,7 @@ pub use le_perfmodel::{CampaignAccounting, EffectiveSpeedup, SpeedupTimes};
 
 /// Time a closure, returning `(result, seconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement helper for speedup accounting
     let result = f();
     (result, start.elapsed().as_secs_f64())
 }

@@ -279,7 +279,7 @@ pub fn run_active_learning<S: Simulator>(
     let mut chosen: Vec<usize> = remaining.drain(..cfg.initial).collect();
 
     let simulate_batch = |indices: &[usize], base_seed: u64| -> Result<Vec<Vec<f64>>> {
-        le_mlkernels::pool::par_map_index(indices.len(), |k| {
+        le_pool::par_map_index(indices.len(), |k| {
             let i = indices[k];
             simulator
                 .simulate(&pool[i], base_seed.wrapping_add(k as u64))

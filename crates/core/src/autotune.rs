@@ -129,7 +129,7 @@ pub fn label_examples<P: TuningProblem + Sync>(
     problem: &P,
     params: &[Vec<f64>],
 ) -> Result<Vec<TuningExample>> {
-    le_mlkernels::pool::par_map(params, |p| {
+    le_pool::par_map(params, |p| {
         Ok(TuningExample {
             params: p.clone(),
             optimal: problem.search_optimal(p)?,

@@ -172,7 +172,7 @@ impl<S: Simulator> HybridEngine<S> {
         // Gate on the surrogate's uncertainty.
         let mut gate_std = None;
         if let Some(surrogate) = self.surrogate.as_mut() {
-            let t0 = Instant::now();
+            let t0 = Instant::now(); // lint:allow(determinism): wall-clock cost accounting only, never feeds the dynamics
             let pred = surrogate.predict_with_uncertainty(input)?;
             let elapsed = t0.elapsed().as_secs_f64();
             let std = pred.max_std();
@@ -188,7 +188,7 @@ impl<S: Simulator> HybridEngine<S> {
             }
         }
         // Simulate; no run is wasted.
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:allow(determinism): wall-clock cost accounting only, never feeds the dynamics
         self.seed_counter += 1;
         let output = self
             .simulator
@@ -259,7 +259,7 @@ impl<S: Simulator> HybridEngine<S> {
             x.row_mut(i).copy_from_slice(&self.buffer_x[i]);
             y.row_mut(i).copy_from_slice(&self.buffer_y[i]);
         }
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:allow(determinism): wall-clock cost accounting only, never feeds the dynamics
         let surrogate = NnSurrogate::fit(&x, &y, &self.config.surrogate)?;
         self.accounting.record_learning(t0.elapsed().as_secs_f64());
         self.surrogate = Some(surrogate);

@@ -1,11 +1,24 @@
 //! Row-major dense `f64` matrix with the operations the neural-network and
 //! solver crates need. Sized for the small/medium matrices of this workspace
-//! (layer weights up to a few thousand per side); GEMM is a cache-friendly
-//! ikj loop rather than a blocked BLAS, which is more than enough here and
-//! keeps the crate dependency-free.
+//! (layer weights up to a few thousand per side). Small products use a
+//! cache-friendly ikj loop; past [`GEMM_BT_MIN_FLOPS`] the three matmul
+//! variants route through [`Matrix::gemm_bt`], a blocked transposed-RHS
+//! kernel whose outer row loop runs on the `le_pool` worker pool, with
+//! bit-identical results between the sequential and parallel paths.
 
 use crate::rng::Rng;
 use crate::{LinalgError, Result};
+
+/// FLOP count (`m·n·k`) below which the legacy ikj loop is kept: the
+/// transposed-RHS kernel's transpose copy and dispatch only pay off past
+/// this size.
+const GEMM_BT_MIN_FLOPS: usize = 1 << 15;
+/// FLOP count past which the blocked kernel's row loop is dispatched on
+/// the worker pool.
+const GEMM_PAR_MIN_FLOPS: usize = 1 << 17;
+/// Target FLOPs per parallel chunk of output rows (grain for the pool's
+/// claiming cursor).
+const GEMM_CHUNK_FLOPS: usize = 1 << 16;
 
 /// Dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,8 +158,67 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix product `self * rhs` (ikj loop, accumulates into the output
-    /// row; cache-friendly for row-major data).
+    /// `self * btᵀ` where `bt` is the **already transposed** right-hand
+    /// side (`bt.rows` is the output column count): the blocked kernel
+    /// behind the three matmul variants. Both operands stream row-major,
+    /// and four output columns share each pass over `a_row` through
+    /// independent register accumulators — better ILP than the
+    /// store-per-k ikj loop. Every output element is a straight k-order
+    /// dot product and every output row is computed independently, so the
+    /// result is bit-identical between the sequential path and the
+    /// pool-parallel path used past [`GEMM_PAR_MIN_FLOPS`].
+    fn gemm_bt(&self, bt: &Matrix) -> Matrix {
+        let (m, k) = (self.rows, self.cols);
+        let n = bt.rows;
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let kernel = |row0: usize, rows_out: &mut [f64]| {
+            for (local, out_row) in rows_out.chunks_mut(n).enumerate() {
+                let r = row0 + local;
+                let a_row = &self.data[r * k..(r + 1) * k];
+                let mut j = 0;
+                while j + 4 <= n {
+                    let b0 = &bt.data[j * k..(j + 1) * k];
+                    let b1 = &bt.data[(j + 1) * k..(j + 2) * k];
+                    let b2 = &bt.data[(j + 2) * k..(j + 3) * k];
+                    let b3 = &bt.data[(j + 3) * k..(j + 4) * k];
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                    for (t, &a) in a_row.iter().enumerate() {
+                        s0 += a * b0[t];
+                        s1 += a * b1[t];
+                        s2 += a * b2[t];
+                        s3 += a * b3[t];
+                    }
+                    out_row[j] = s0;
+                    out_row[j + 1] = s1;
+                    out_row[j + 2] = s2;
+                    out_row[j + 3] = s3;
+                    j += 4;
+                }
+                while j < n {
+                    out_row[j] = dot(a_row, &bt.data[j * k..(j + 1) * k]);
+                    j += 1;
+                }
+            }
+        };
+        let flops = m * n * k.max(1);
+        if flops >= GEMM_PAR_MIN_FLOPS {
+            let rows_per_chunk = (GEMM_CHUNK_FLOPS / (n * k.max(1))).clamp(1, m);
+            le_pool::par_for_chunks(&mut out.data, rows_per_chunk * n, |start, chunk| {
+                kernel(start / n, chunk)
+            });
+        } else {
+            kernel(0, &mut out.data);
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`. Small products use an ikj loop that
+    /// accumulates into the output row (cache-friendly for row-major
+    /// data); large ones transpose `rhs` once and run the blocked
+    /// [`Matrix::gemm_bt`] kernel.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -154,6 +226,9 @@ impl Matrix {
                 lhs: self.shape(),
                 rhs: rhs.shape(),
             });
+        }
+        if self.rows * rhs.cols * self.cols >= GEMM_BT_MIN_FLOPS {
+            return Ok(self.gemm_bt(&rhs.transpose()));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -172,7 +247,9 @@ impl Matrix {
         Ok(out)
     }
 
-    /// `self^T * rhs` without materializing the transpose.
+    /// `self^T * rhs`. Small products use the k-outer accumulation loop
+    /// (no transpose materialized); large ones pay for both transposes to
+    /// reach the blocked [`Matrix::gemm_bt`] kernel.
     pub fn t_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -180,6 +257,9 @@ impl Matrix {
                 lhs: self.shape(),
                 rhs: rhs.shape(),
             });
+        }
+        if self.cols * rhs.cols * self.rows >= GEMM_BT_MIN_FLOPS {
+            return Ok(self.transpose().gemm_bt(&rhs.transpose()));
         }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         for k in 0..self.rows {
@@ -198,7 +278,10 @@ impl Matrix {
         Ok(out)
     }
 
-    /// `self * rhs^T` without materializing the transpose.
+    /// `self * rhs^T` without materializing the transpose: `rhs` already
+    /// has the layout [`Matrix::gemm_bt`] wants, so the blocked kernel is
+    /// used at every size (the per-element k-order sum is identical to the
+    /// plain dot-product loop it replaces).
     pub fn matmul_t(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -207,19 +290,7 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
-        Ok(out)
+        Ok(self.gemm_bt(rhs))
     }
 
     /// Explicit transpose.
@@ -436,6 +507,44 @@ mod tests {
         let slow = a.matmul(&b.transpose()).unwrap();
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_matmul_crosses_into_blocked_kernel() {
+        // 40·50·60 = 120k FLOPs: above GEMM_BT_MIN_FLOPS, so this routes
+        // through gemm_bt (and the pool, above the parallel threshold).
+        let mut rng = Rng::new(11);
+        let a = Matrix::he_uniform(40, 60, 40, &mut rng);
+        let b = Matrix::he_uniform(60, 50, 60, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let mut naive = Matrix::zeros(40, 50);
+        for i in 0..40 {
+            for j in 0..50 {
+                let mut acc = 0.0;
+                for t in 0..60 {
+                    acc += a.get(i, t) * b.get(t, j);
+                }
+                naive.set(i, j, acc);
+            }
+        }
+        for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_t_is_bitwise_dot_products() {
+        // The blocked kernel must not change the k-order per-element sum.
+        let mut rng = Rng::new(12);
+        let a = Matrix::he_uniform(30, 45, 30, &mut rng);
+        let b = Matrix::he_uniform(70, 45, 45, &mut rng);
+        let fast = a.matmul_t(&b).unwrap();
+        for i in 0..30 {
+            for j in 0..70 {
+                let expect = dot(a.row(i), b.row(j));
+                assert_eq!(fast.get(i, j).to_bits(), expect.to_bits());
+            }
         }
     }
 

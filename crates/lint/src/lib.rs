@@ -124,7 +124,8 @@ pub fn is_in_tree_name(name: &str, members: &BTreeSet<String>) -> bool {
 /// (rule L4): the simulation and kernel substrates. Orchestration and
 /// measurement crates (`core`, `perfmodel`, `sched`, `bench`) legitimately
 /// read wall-clock time for effective-speedup accounting.
-pub const SIM_KERNEL_CRATES: [&str; 6] = [
+pub const SIM_KERNEL_CRATES: [&str; 7] = [
+    "le-pool",
     "le-linalg",
     "le-nn",
     "le-mdsim",

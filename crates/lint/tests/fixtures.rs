@@ -85,8 +85,8 @@ fn real_workspace_is_clean() {
         "workspace has lint violations:\n{}",
         report.to_text()
     );
-    // All 12 crates plus the root package.
-    assert_eq!(report.manifests_scanned, 13);
+    // All 13 crates plus the root package.
+    assert_eq!(report.manifests_scanned, 14);
     assert!(report.files_scanned > 50);
 }
 

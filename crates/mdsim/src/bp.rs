@@ -17,7 +17,7 @@
 
 use le_linalg::{Matrix, Rng};
 use le_nn::{Mlp, MlpConfig, Scaler, TrainConfig, Trainer};
-use le_mlkernels::pool;
+use le_pool as pool;
 
 use crate::reference::{random_cluster, ReferencePotential};
 use crate::system::Vec3;
@@ -68,11 +68,38 @@ impl SymmetryFunctions {
         }
     }
 
+    /// 2^(1-ζ) prefactor with exact shortcuts for the common integer ζ.
+    #[inline]
+    fn zeta_prefactor(zeta: f64) -> f64 {
+        if zeta == 1.0 { // lint:allow(float-hygiene): exact dispatch on a literal config value
+            1.0
+        } else if zeta == 2.0 { // lint:allow(float-hygiene): exact dispatch on a literal config value
+            0.5
+        } else {
+            2.0f64.powf(1.0 - zeta)
+        }
+    }
+
+    /// base^ζ with multiply shortcuts for the common integer ζ (`powf` costs
+    /// an `exp`+`ln` pair; ζ ∈ {1, 2} covers every standard descriptor set).
+    #[inline]
+    fn zeta_pow(base: f64, zeta: f64) -> f64 {
+        if zeta == 1.0 { // lint:allow(float-hygiene): exact dispatch on a literal config value
+            base
+        } else if zeta == 2.0 { // lint:allow(float-hygiene): exact dispatch on a literal config value
+            base * base
+        } else {
+            base.powf(zeta)
+        }
+    }
+
     /// Descriptor vector for atom `i` in configuration `pos`.
     pub fn describe_atom(&self, pos: &[Vec3], i: usize) -> Vec<f64> {
         let mut features = vec![0.0; self.n_features()];
-        // Collect neighbors of i within rc.
-        let mut nbrs: Vec<(f64, Vec3)> = Vec::new();
+        // Collect neighbors of i within rc, with the cutoff value hoisted:
+        // fc(r) is reused by every radial feature and every angular pair the
+        // neighbor participates in, so one cosine here replaces dozens below.
+        let mut nbrs: Vec<(f64, f64, Vec3)> = Vec::new();
         for (j, rj) in pos.iter().enumerate() {
             if j == i {
                 continue;
@@ -84,7 +111,7 @@ impl SymmetryFunctions {
             ];
             let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
             if r < self.rc {
-                nbrs.push((r, d));
+                nbrs.push((r, self.fc(r), d));
             }
         }
         // Radial G2: Σ_j exp(-η (r_ij - r_s)²) fc(r_ij).
@@ -96,7 +123,7 @@ impl SymmetryFunctions {
         {
             features[k] = nbrs
                 .iter()
-                .map(|&(r, _)| (-eta * (r - rs) * (r - rs)).exp() * self.fc(r))
+                .map(|&(r, fcr, _)| (-eta * (r - rs) * (r - rs)).exp() * fcr)
                 .sum();
         }
         // Angular G4: 2^(1-ζ) Σ_{j<k} (1 + λ cosθ)^ζ
@@ -104,8 +131,8 @@ impl SymmetryFunctions {
         let off = self.radial_etas.len();
         for a in 0..nbrs.len() {
             for b in (a + 1)..nbrs.len() {
-                let (rj, dj) = nbrs[a];
-                let (rk, dk) = nbrs[b];
+                let (rj, fcj, dj) = nbrs[a];
+                let (rk, fck, dk) = nbrs[b];
                 let djk = [dk[0] - dj[0], dk[1] - dj[1], dk[2] - dj[2]];
                 let rjk = (djk[0] * djk[0] + djk[1] * djk[1] + djk[2] * djk[2]).sqrt();
                 if rjk >= self.rc {
@@ -113,7 +140,8 @@ impl SymmetryFunctions {
                 }
                 let cosang = (dj[0] * dk[0] + dj[1] * dk[1] + dj[2] * dk[2]) / (rj * rk);
                 let gauss = (-self.angular_eta * (rj * rj + rk * rk + rjk * rjk)).exp();
-                let cuts = self.fc(rj) * self.fc(rk) * self.fc(rjk);
+                let cuts = fcj * fck * self.fc(rjk);
+                let weight = gauss * cuts;
                 for (m, (&zeta, &lambda)) in self
                     .angular_zetas
                     .iter()
@@ -122,20 +150,22 @@ impl SymmetryFunctions {
                 {
                     let base = (1.0 + lambda * cosang).max(0.0);
                     features[off + m] +=
-                        2.0f64.powf(1.0 - zeta) * base.powf(zeta) * gauss * cuts;
+                        Self::zeta_prefactor(zeta) * Self::zeta_pow(base, zeta) * weight;
                 }
             }
         }
         features
     }
 
-    /// Descriptor matrix for every atom in the configuration.
+    /// Descriptor matrix for every atom in the configuration. Atoms are
+    /// described in parallel; rows are stitched in atom order, so the result
+    /// is identical at every thread count.
     pub fn describe_all(&self, pos: &[Vec3]) -> Matrix {
         let nf = self.n_features();
         let mut m = Matrix::zeros(pos.len(), nf);
-        for i in 0..pos.len() {
-            let f = self.describe_atom(pos, i);
-            m.row_mut(i).copy_from_slice(&f);
+        let rows = pool::par_map_index(pos.len(), |i| self.describe_atom(pos, i));
+        for (i, f) in rows.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(f);
         }
         m
     }

@@ -150,51 +150,140 @@ impl ForceField {
     }
 }
 
+/// Per-group force buffer for the parallel pair loop: forces accumulate
+/// here, group-locally, and are merged in fixed group order.
+#[derive(Debug, Default, Clone)]
+struct GroupBuf {
+    force: Vec<[f64; 3]>,
+    energy: f64,
+}
+
+/// Reusable scratch for [`compute_forces_with`]: per-group force buffers
+/// that persist across steps, so the force loop allocates nothing after
+/// the first call. One scratch per trajectory; do not share across
+/// concurrently integrated systems.
+#[derive(Debug, Default)]
+pub struct ForceScratch {
+    groups: Vec<GroupBuf>,
+    /// Cell-ordered position snapshot (see [`CellList::gather`]), refreshed
+    /// every call so it never goes stale between cell-list rebuilds.
+    gathered: Vec<[f64; 3]>,
+}
+
+impl ForceScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure `n_groups` buffers of `n` zeroed entries, reusing capacity.
+    /// Buffers are zeroed by the merge pass after each use, so only fresh
+    /// or resized buffers need explicit clearing here.
+    fn reset(&mut self, n_groups: usize, n: usize) {
+        self.groups.resize_with(n_groups, GroupBuf::default);
+        for g in &mut self.groups {
+            if g.force.len() != n {
+                g.force.clear();
+                g.force.resize(n, [0.0; 3]);
+            }
+            g.energy = 0.0;
+        }
+    }
+}
+
+/// How many pair-task groups the force loop uses: enough to feed the pool
+/// on irregular occupancy, capped so the O(groups · n) merge stays a small
+/// fraction of the pair work. A pure function of the cell grid and `n` —
+/// never of the thread count — so the accumulation order (group-local
+/// sums, merged in group order) is bit-identical for any pool size,
+/// including the sequential path.
+fn n_force_groups(n_tasks: usize, n: usize) -> usize {
+    n_tasks.min(16).min((n / 128).max(1)).max(1)
+}
+
 /// Compute all forces into `sys.force` and return total potential energy.
-/// Uses the provided cell list (built at the current positions).
-pub fn compute_forces(sys: &mut System, ff: &ForceField, cells: &CellList) -> f64 {
+/// Uses the provided cell list (built at the current positions) and
+/// `scratch` for per-group accumulation buffers that are reused across
+/// calls (no per-step allocation).
+///
+/// Pair tasks (cell rows) are grouped into [`n_force_groups`] contiguous
+/// ranges; each group accumulates ±f into its own buffer on whichever pool
+/// thread claims it, and buffers are merged into `sys.force` in group
+/// order. Both the grouping and the merge order are independent of the
+/// thread count, so the result is bit-identical to the sequential path.
+pub fn compute_forces_with(
+    sys: &mut System,
+    ff: &ForceField,
+    cells: &CellList,
+    scratch: &mut ForceScratch,
+) -> f64 {
+    let n = sys.len();
+    let n_tasks = cells.n_pair_tasks();
+    let n_groups = n_force_groups(n_tasks, n);
+    let tasks_per_group = n_tasks.div_ceil(n_groups.max(1)).max(1);
+    scratch.reset(n_groups, n);
+    cells.gather(&sys.pos, &mut scratch.gathered);
+    {
+        let pos = &sys.pos;
+        let gathered: &[[f64; 3]] = &scratch.gathered;
+        let charge = &sys.charge;
+        let diameter = &sys.diameter;
+        le_pool::par_for_chunks(&mut scratch.groups, 1, |g, group| {
+            let buf = &mut group[0];
+            let acc = &mut buf.force;
+            let mut energy = 0.0;
+            let lo = g * tasks_per_group;
+            let hi = (lo + tasks_per_group).min(n_tasks);
+            for task in lo..hi {
+                cells.for_each_pair_dist_in_task_cached(task, pos, gathered, |i, j, d, r2| {
+                    let sigma = 0.5 * (diameter[i] + diameter[j]);
+                    let max_cut = ff.max_cutoff(sigma);
+                    if r2 > max_cut * max_cut {
+                        return;
+                    }
+                    // Guard r² against overlap-singularity at insertion time.
+                    let r2 = r2.max(1e-6);
+                    let (e, f_over_r) = ff.pair(r2, charge[i], charge[j], sigma);
+                    energy += e;
+                    for k in 0..3 {
+                        let fk = f_over_r * d[k];
+                        acc[i][k] += fk;
+                        acc[j][k] -= fk;
+                    }
+                });
+            }
+            buf.energy = energy;
+        });
+    }
+    // Merge group buffers in group order (and zero them for the next call),
+    // then add the wall forces.
     for f in &mut sys.force {
         *f = [0.0; 3];
     }
     let mut potential = 0.0;
-    // Pair interactions. The closure needs mutable access to forces; use
-    // index-based accumulation against the borrow checker by collecting into
-    // a local force buffer.
-    let n = sys.len();
-    let mut force_acc = vec![[0.0f64; 3]; n];
-    {
-        let pos = &sys.pos;
-        let charge = &sys.charge;
-        let diameter = &sys.diameter;
-        let bbox = sys.bbox;
-        cells.for_each_pair(|i, j| {
-            let d = bbox.min_image(&pos[i], &pos[j]);
-            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-            let sigma = 0.5 * (diameter[i] + diameter[j]);
-            let max_cut = ff.max_cutoff(sigma);
-            if r2 > max_cut * max_cut {
-                return;
-            }
-            // Guard r² against overlap-singularity at insertion time.
-            let r2 = r2.max(1e-6);
-            let (e, f_over_r) = ff.pair(r2, charge[i], charge[j], sigma);
-            potential += e;
+    for buf in &mut scratch.groups {
+        potential += buf.energy;
+        for (f, acc) in sys.force.iter_mut().zip(buf.force.iter_mut()) {
             for k in 0..3 {
-                let fk = f_over_r * d[k];
-                force_acc[i][k] += fk;
-                force_acc[j][k] -= fk;
+                f[k] += acc[k];
             }
-        });
+            *acc = [0.0; 3];
+        }
     }
-    // Wall forces.
     let h = sys.bbox.h;
     for i in 0..n {
         let (e, fz) = ff.wall(sys.pos[i][2], h);
         potential += e;
-        force_acc[i][2] += fz;
+        sys.force[i][2] += fz;
     }
-    sys.force = force_acc;
     potential
+}
+
+/// [`compute_forces_with`] with a throwaway scratch — convenience for
+/// one-shot evaluations; step loops should hold a [`ForceScratch`] to
+/// avoid the per-call allocation.
+pub fn compute_forces(sys: &mut System, ff: &ForceField, cells: &CellList) -> f64 {
+    compute_forces_with(sys, ff, cells, &mut ForceScratch::new())
 }
 
 #[cfg(test)]
@@ -391,6 +480,77 @@ mod tests {
                 "Newton's third law violated in component {k}: {}",
                 total[k]
             );
+        }
+    }
+
+    #[test]
+    fn chunked_forces_match_bruteforce_and_are_repeatable() {
+        let bbox = SlabBox::new(7.0, 7.0, 5.0).unwrap();
+        let mut sys = System::new(bbox);
+        let mut rng = Rng::new(23);
+        for valency in [1i32, -1] {
+            sys.insert_species(
+                Species {
+                    valency,
+                    diameter: 0.3,
+                    mass: 1.0,
+                },
+                35,
+                1.0,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        let ff = ForceField {
+            kappa: 1.2,
+            ..Default::default()
+        };
+        let n = sys.len();
+        // Reference: O(N²) double loop with min_image, same pair math.
+        let mut ref_force = vec![[0.0f64; 3]; n];
+        let mut ref_energy = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = bbox.min_image(&sys.pos[i], &sys.pos[j]);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                let sigma = 0.5 * (sys.diameter[i] + sys.diameter[j]);
+                let max_cut = ff.max_cutoff(sigma);
+                if r2 > max_cut * max_cut {
+                    continue;
+                }
+                let (e, f_over_r) = ff.pair(r2.max(1e-6), sys.charge[i], sys.charge[j], sigma);
+                ref_energy += e;
+                for k in 0..3 {
+                    ref_force[i][k] += f_over_r * d[k];
+                    ref_force[j][k] -= f_over_r * d[k];
+                }
+            }
+        }
+        for i in 0..n {
+            let (e, fz) = ff.wall(sys.pos[i][2], bbox.h);
+            ref_energy += e;
+            ref_force[i][2] += fz;
+        }
+        let cells = CellList::build(bbox, ff.max_cutoff(0.3), &sys.pos);
+        let mut scratch = ForceScratch::new();
+        let e1 = compute_forces_with(&mut sys, &ff, &cells, &mut scratch);
+        assert!((e1 - ref_energy).abs() < 1e-9 * (1.0 + ref_energy.abs()));
+        for i in 0..n {
+            for k in 0..3 {
+                assert!(
+                    (sys.force[i][k] - ref_force[i][k]).abs() < 1e-9,
+                    "force mismatch at particle {i} axis {k}"
+                );
+            }
+        }
+        // Scratch reuse must be bit-identical call over call.
+        let forces_1 = sys.force.clone();
+        let e2 = compute_forces_with(&mut sys, &ff, &cells, &mut scratch);
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        for (a, b) in forces_1.iter().zip(sys.force.iter()) {
+            for k in 0..3 {
+                assert_eq!(a[k].to_bits(), b[k].to_bits());
+            }
         }
     }
 

@@ -6,7 +6,7 @@
 use le_linalg::Rng;
 
 use crate::celllist::CellList;
-use crate::forces::{compute_forces, ForceField};
+use crate::forces::{compute_forces_with, ForceField, ForceScratch};
 use crate::system::System;
 use crate::{MdError, Result};
 
@@ -97,8 +97,11 @@ pub fn run(
     // pad by 15%.
     let bin = cutoff * 1.15;
     let mut cells = CellList::build(sys.bbox, bin, &sys.pos);
+    // Force scratch lives for the whole trajectory: the per-step force
+    // call reuses its accumulation buffers instead of allocating.
+    let mut scratch = ForceScratch::new();
     // Initial forces; the per-step recompute below refreshes the potential.
-    let _ = compute_forces(sys, ff, &cells);
+    let _ = compute_forces_with(sys, ff, &cells, &mut scratch);
     let mut potential;
     let mut traj = Trajectory::default();
 
@@ -158,7 +161,7 @@ pub fn run(
         if step % integ.cell_rebuild_interval == 0 {
             cells = CellList::build(sys.bbox, bin, &sys.pos);
         }
-        potential = compute_forces(sys, ff, &cells);
+        potential = compute_forces_with(sys, ff, &cells, &mut scratch);
         // B: half kick.
         for i in 0..sys.len() {
             let inv_m = 1.0 / sys.mass[i];

@@ -149,37 +149,46 @@ impl ReferencePotential {
             })
             .collect();
         let mut q = vec![0.0f64; n];
+        let mut coupled = vec![0.0f64; n];
         let mut iterations = 0;
         for it in 0..self.scf_max_iter {
             iterations = it + 1;
-            let mut max_delta = 0.0f64;
-            let mut q_new = vec![0.0; n];
+            // Long-range kernel, recomputed every iteration like a Fock
+            // rebuild: a small contracted basis (Gaussian-type shells plus
+            // a damped Coulomb tail) is evaluated per pair, as a real
+            // integral rebuild would. The kernel is symmetric (w_ij =
+            // w_ji), so — as real SCF codes do for Hermitian matrices —
+            // each pair integral is evaluated once and scattered to both
+            // rows; each row still accumulates its terms in ascending-j
+            // order, so the sums match the full square loop bitwise.
+            coupled.fill(0.0);
             for i in 0..n {
-                let mut coupled = 0.0;
-                for j in 0..n {
-                    if j == i {
-                        continue;
-                    }
+                for j in (i + 1)..n {
                     let dx = pos[i][0] - pos[j][0];
                     let dy = pos[i][1] - pos[j][1];
                     let dz = pos[i][2] - pos[j][2];
                     let r = (dx * dx + dy * dy + dz * dz).sqrt();
-                    // Long-range kernel, recomputed every iteration like a
-                    // Fock rebuild: a small contracted basis (three
-                    // Gaussian-type shells plus a damped Coulomb tail) is
-                    // evaluated per pair, as a real integral rebuild would.
-                    let s0 = (-r / (2.0 * self.rc)).exp() / (1.0 + r);
+                    // t = exp(-r/2rc); the damped-Coulomb tail reuses it as
+                    // t² = exp(-r/rc), saving one transcendental per pair.
+                    let t = (-r / (2.0 * self.rc)).exp();
+                    let s0 = t / (1.0 + r);
                     let s1 = (-0.8 * r * r).exp();
                     let s2 = (-0.3 * r * r).exp() * (1.0 + r * r).ln();
-                    let s3 = (1.0 + r).sqrt().recip() * (-r / self.rc).exp();
+                    let s3 = (1.0 + r).sqrt().recip() * (t * t);
                     let w = s0 + 0.05 * s1 + 0.02 * s2 + 0.03 * s3;
-                    coupled += w * q[j];
+                    coupled[i] += w * q[j];
+                    coupled[j] += w * q[i];
                 }
-                let target = (self.scf_coupling * coupled + source[i]).tanh();
-                q_new[i] = 0.5 * q[i] + 0.5 * target;
-                max_delta = max_delta.max((q_new[i] - q[i]).abs());
             }
-            q = q_new;
+            // Damped Jacobi update: `coupled` is built entirely from the
+            // previous iterate, so the in-place write is still Jacobi.
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let target = (self.scf_coupling * coupled[i] + source[i]).tanh();
+                let qi = 0.5 * q[i] + 0.5 * target;
+                max_delta = max_delta.max((qi - q[i]).abs());
+                q[i] = qi;
+            }
             if max_delta < self.scf_tol {
                 break;
             }

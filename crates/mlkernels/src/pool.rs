@@ -1,64 +1,14 @@
-//! Chunked fork-join parallelism on `std::thread::scope`.
+//! Chunked fork-join parallelism — thin re-export of [`le_pool`].
 //!
-//! The workspace is dependency-free, so the `rayon` parallel iterators the
-//! simulators and trainers used to rely on are replaced by these helpers.
-//! Work is split into one contiguous chunk per worker; each worker maps its
-//! chunk into a local `Vec`, and the chunks are stitched back together in
-//! index order, so results are deterministic regardless of thread count or
-//! interleaving (each item's closure must itself be deterministic in its
-//! index, which the seeded-RNG convention guarantees).
+//! PR 1 introduced these helpers on `std::thread::scope`, spawning and
+//! joining fresh OS threads inside every call. They are now backed by the
+//! persistent worker pool in `crates/pool` (`le_pool`), which keeps the
+//! same contract — index-ordered, thread-count-independent results and
+//! panic propagation — without per-call spawn/join overhead. This module
+//! remains so existing `le_mlkernels::pool::...` call sites keep working;
+//! new code should depend on `le_pool` directly.
 
-/// Worker count: the machine's available parallelism, or 1 if unknown.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Map `f` over `0..n` in parallel, preserving index order.
-///
-/// Equivalent to `(0..n).map(f).collect()` but chunked across
-/// [`default_threads`] scoped workers. A panic in `f` is propagated to the
-/// caller (as the sequential loop would).
-pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
-where
-    U: Send,
-    F: Fn(usize) -> U + Sync,
-{
-    let threads = default_threads().min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let f = &f;
-    let chunk = n.div_ceil(threads);
-    let mut out = Vec::with_capacity(n);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    out
-}
-
-/// Map `f` over a slice in parallel, preserving order.
-pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    par_map_index(items.len(), |i| f(&items[i]))
-}
+pub use le_pool::{default_threads, par_for_chunks, par_for_each, par_map, par_map_index, par_reduce};
 
 #[cfg(test)]
 mod tests {

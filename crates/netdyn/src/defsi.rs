@@ -18,7 +18,7 @@
 //!    *county-level* incidence.
 
 use le_linalg::{Matrix, Rng};
-use le_mlkernels::pool;
+use le_pool as pool;
 use le_nn::optimizer::OptimizerState;
 use le_nn::{Loss, Mlp, MlpConfig, Optimizer, Scaler};
 

@@ -5,7 +5,7 @@
 //! paper ref \[19\].
 
 use le_linalg::Rng;
-use le_mlkernels::pool;
+use le_pool as pool;
 
 use crate::population::Population;
 use crate::seir::{simulate_ensemble, SeirConfig};

@@ -198,7 +198,7 @@ pub fn simulate_ensemble(
         return Err(NetError::InvalidConfig("need at least one replicate".into()));
     }
     let outcomes: Result<Vec<SeirOutcome>> =
-        le_mlkernels::pool::par_map_index(n_replicates, |r| {
+        le_pool::par_map_index(n_replicates, |r| {
             simulate(pop, config, seed.wrapping_add(r as u64).wrapping_mul(0x1234_5677))
         })
         .into_iter()

@@ -1,0 +1,682 @@
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `le-pool` — a persistent, zero-dependency fork-join worker pool.
+//!
+//! PR 1 made the workspace hermetic by replacing rayon with scoped-thread
+//! helpers that spawned and joined fresh OS threads inside every call. That
+//! is correct but slow for the hot loops this workspace cares about: MD
+//! force evaluation and NN training enter a parallel region thousands of
+//! times per run, and per-call spawn/join overhead (tens of microseconds
+//! per thread) dominates the actual work. This crate supplies the structure
+//! rayon's persistent registry provides, built on `std` only:
+//!
+//! * **Persistent workers** — started once, lazily, behind a [`OnceLock`];
+//!   no thread is ever spawned on the hot path.
+//! * **Single-slot injector** — a dispatch posts one type-erased job under a
+//!   mutex and wakes the workers; a worker that misses a job (it completed
+//!   before the worker woke) simply goes back to sleep, so a dispatch never
+//!   waits for a descheduled worker that has no work left to claim.
+//! * **Chunk claiming** — parallel helpers divide work into chunks and
+//!   threads claim chunk indices from a shared [`AtomicUsize`] cursor, so
+//!   irregular workloads (nonuniform cell-list occupancy, skewed per-index
+//!   cost) load-balance dynamically. The dispatching thread participates,
+//!   so even if no worker wakes in time the job completes at full caller
+//!   speed.
+//! * **Index-ordered determinism** — results are stitched in chunk/index
+//!   order, never in completion order, so every helper returns bit-identical
+//!   results regardless of thread count or scheduling. [`Pool::par_reduce`]
+//!   additionally fixes its chunk boundaries and its tree-shaped combine
+//!   order as a pure function of `n` and the caller's `grain`, making even
+//!   floating-point reductions thread-count independent.
+//! * **Panic propagation** — a panic inside a job is caught on the worker,
+//!   carried back, and resumed on the calling thread (as the sequential
+//!   loop would have panicked), leaving the pool reusable.
+//! * **Nested-call safety** — a parallel call from inside a pool job runs
+//!   inline (sequentially) instead of deadlocking on the single job slot.
+//!
+//! # Grain policy
+//!
+//! Dispatch on the persistent pool costs a few microseconds (one mutex
+//! round-trip plus condvar wakeups). Helpers therefore go inline whenever
+//! the decomposition would yield a single chunk, and `par_map_index` splits
+//! work into `threads * 4` chunks so the claiming cursor can load-balance
+//! skew without per-index cursor traffic. Callers with cheap per-index work
+//! choose `grain` (in [`Pool::par_reduce`] / [`Pool::par_for_chunks`]) so a
+//! chunk amortizes ~10µs of work; hot call sites additionally gate on
+//! problem size and fall back to their sequential loop below it.
+//!
+//! The thread count defaults to [`std::thread::available_parallelism`] and
+//! can be overridden with the `LE_POOL_THREADS` environment variable (read
+//! once, when the global pool is created). With one thread the pool spawns
+//! no workers at all and every helper degenerates to the plain sequential
+//! loop — zero overhead on single-core hosts.
+//!
+//! The free functions ([`par_map_index`], [`par_map`], [`par_for_each`],
+//! [`par_for_chunks`], [`par_reduce`]) delegate to the process-wide
+//! [`Pool::global`]. Tests that need to compare thread counts construct
+//! private pools with [`Pool::with_threads`].
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Payload carried from a panicking worker back to the dispatcher.
+type Panic = Box<dyn std::any::Any + Send + 'static>;
+
+/// A type-erased reference to the current job closure. The lifetime is
+/// erased to `'static` by [`erase`]; see the safety argument there.
+type Job = &'static (dyn Fn() + Sync);
+
+/// Chunks per participating thread in `par_map_index`: enough slack for the
+/// claiming cursor to rebalance skewed chunks, few enough that slot
+/// bookkeeping stays cheap.
+const CHUNKS_PER_THREAD: usize = 4;
+
+thread_local! {
+    /// True while this thread is executing inside a pool job (worker or
+    /// participating dispatcher). Used to run nested parallel calls inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Shared pool state behind the mutex.
+struct State {
+    /// The single-slot injector: the job currently being executed, if any.
+    job: Option<Job>,
+    /// Bumped once per dispatch so sleeping workers can tell a fresh job
+    /// from one they already ran (or missed).
+    epoch: u64,
+    /// Number of workers currently executing the posted job.
+    active: usize,
+    /// Set by `Drop` to terminate the worker loops.
+    shutdown: bool,
+    /// First panic payload captured from a worker during this job.
+    panic: Option<Panic>,
+}
+
+/// State + condvars, shared between the pool handle and its workers.
+struct Shared {
+    state: Mutex<State>,
+    /// Workers sleep here between jobs.
+    work_cv: Condvar,
+    /// The dispatcher sleeps here until `active` returns to zero.
+    done_cv: Condvar,
+}
+
+/// A persistent fork-join worker pool. See the crate docs for the design.
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Total threads participating in a job: spawned workers + the caller.
+    threads: usize,
+    /// Join handles, drained on `Drop` (the global pool never drops).
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Recover a mutex guard whether or not another thread panicked while
+/// holding the lock. Every critical section in this crate is a handful of
+/// plain field updates, so the state is consistent even after a poisoning
+/// panic — and worker panics are expected events we carry back to the
+/// caller rather than reasons to abort.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Erase the lifetime of a job reference so it can sit in the shared slot.
+///
+/// SAFETY: the only writer of the slot is [`Pool::run_job`], which (a)
+/// posts the reference, (b) does not return — even when the caller's share
+/// of the job panics, via the [`Finish`] guard — until every worker that
+/// claimed the job has finished with it, and (c) clears the slot before
+/// returning. Workers only obtain the reference from the slot under the
+/// state mutex, while it is `Some`, and increment `active` in the same
+/// critical section, which is exactly what `Finish` waits on. Hence no
+/// worker can observe the reference after `run_job` returns, and the
+/// erased `'static` lifetime never outlives the real one.
+#[allow(unsafe_code)]
+fn erase<'a>(f: &'a (dyn Fn() + Sync)) -> Job {
+    unsafe { std::mem::transmute::<&'a (dyn Fn() + Sync), Job>(f) }
+}
+
+/// RAII guard: when the dispatcher leaves `run_job` — normally or by panic
+/// — wait for in-flight workers and clear the job slot.
+struct Finish<'p> {
+    shared: &'p Shared,
+}
+
+impl Drop for Finish<'_> {
+    fn drop(&mut self) {
+        let mut st = relock(self.shared.state.lock());
+        while st.active > 0 {
+            st = relock(self.shared.done_cv.wait(st));
+        }
+        st.job = None;
+    }
+}
+
+/// Body of each spawned worker thread.
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        // Sleep until a fresh job is posted (or shutdown). A job that
+        // completed before we woke leaves `job == None` at a new epoch;
+        // record the epoch and keep sleeping.
+        let job = {
+            let mut st = relock(shared.state.lock());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if let Some(job) = st.job {
+                        st.active += 1;
+                        break job;
+                    }
+                }
+                st = relock(shared.work_cv.wait(st));
+            }
+        };
+
+        IN_POOL.with(|c| c.set(true));
+        let result = catch_unwind(AssertUnwindSafe(|| job()));
+        IN_POOL.with(|c| c.set(false));
+
+        let mut st = relock(shared.state.lock());
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+impl Pool {
+    /// The process-wide pool, created on first use with [`default_threads`]
+    /// participating threads.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::with_threads(default_threads()))
+    }
+
+    /// A private pool with `threads` participating threads (the calling
+    /// thread counts as one, so `threads - 1` workers are spawned).
+    /// Intended for tests that compare thread counts; production code uses
+    /// the free functions and the global pool.
+    pub fn with_threads(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                active: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        for k in 0..threads.saturating_sub(1) {
+            let sh = Arc::clone(&shared);
+            let builder = std::thread::Builder::new().name(format!("le-pool-{k}"));
+            // A failed spawn (resource exhaustion) just means fewer
+            // workers; the pool stays correct at any worker count.
+            if let Ok(h) = builder.spawn(move || worker_loop(&sh)) {
+                handles.push(h);
+            }
+        }
+        let threads = handles.len() + 1;
+        Pool {
+            shared,
+            threads,
+            handles,
+        }
+    }
+
+    /// Number of threads that participate in a parallel region (spawned
+    /// workers plus the dispatching caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when a dispatch from the current thread would run inline:
+    /// single-threaded pool, or already inside a pool job (nested call).
+    fn inline(&self) -> bool {
+        self.threads == 1 || IN_POOL.with(|c| c.get())
+    }
+
+    /// Post `f` to the workers, run it on the caller too, wait for all
+    /// claimants to finish, then propagate the first captured panic.
+    fn run_job(&self, f: &(dyn Fn() + Sync)) {
+        {
+            let mut st = relock(self.shared.state.lock());
+            st.job = Some(erase(f));
+            st.epoch = st.epoch.wrapping_add(1);
+            st.panic = None;
+            self.shared.work_cv.notify_all();
+        }
+        // From here on the guard ensures no return before every claiming
+        // worker is done and the slot is cleared — the soundness condition
+        // of `erase`, and the reason a caller panic cannot strand workers
+        // on a dangling job reference.
+        let guard = Finish {
+            shared: &self.shared,
+        };
+        IN_POOL.with(|c| c.set(true));
+        let caller = catch_unwind(AssertUnwindSafe(|| f()));
+        IN_POOL.with(|c| c.set(false));
+        drop(guard);
+        let worker_panic = relock(self.shared.state.lock()).panic.take();
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Run `f(0), f(1), …, f(n_tasks - 1)`, each exactly once, on whichever
+    /// threads claim them first. Order of execution is unspecified — use
+    /// the mapping helpers when results must be collected.
+    pub fn par_for_each<F>(&self, n_tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n_tasks == 0 {
+            return;
+        }
+        if self.inline() || n_tasks == 1 {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        let body = move || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                break;
+            }
+            f(i);
+        };
+        self.run_job(&body);
+    }
+
+    /// Split `0..n` into `n_chunks` ranges of length `chunk`, evaluate
+    /// `make(lo, hi)` for each in parallel, and return the values in chunk
+    /// order (never completion order).
+    fn chunked_collect<V, F>(&self, n: usize, chunk: usize, make: F) -> Vec<V>
+    where
+        V: Send,
+        F: Fn(usize, usize) -> V + Sync,
+    {
+        let n_chunks = n.div_ceil(chunk);
+        let slots: Vec<Mutex<Option<V>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        self.par_for_each(n_chunks, |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let v = make(lo, hi);
+            *relock(slots[c].lock()) = Some(v);
+        });
+        slots
+            .into_iter()
+            .filter_map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect()
+    }
+
+    /// Map `f` over `0..n` in parallel; results are returned in index
+    /// order and are bit-identical to the sequential `(0..n).map(f)`
+    /// regardless of thread count.
+    pub fn par_map_index<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.inline() || n < 2 {
+            return (0..n).map(f).collect();
+        }
+        let n_chunks = n.min(self.threads * CHUNKS_PER_THREAD);
+        let chunk = n.div_ceil(n_chunks);
+        let parts = self.chunked_collect(n, chunk, |lo, hi| (lo..hi).map(&f).collect::<Vec<U>>());
+        let mut out = Vec::with_capacity(n);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Map `f` over a slice in parallel; results come back in input order.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_index(items.len(), |i| f(&items[i]))
+    }
+
+    /// Split `data` into consecutive chunks of `chunk_len` elements (last
+    /// chunk may be shorter) and run `f(start_index, chunk)` on each in
+    /// parallel. The decomposition depends only on `data.len()` and
+    /// `chunk_len`, never on the thread count.
+    pub fn par_for_chunks<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let chunk_len = chunk_len.max(1);
+        if self.inline() || n <= chunk_len {
+            for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(c * chunk_len, chunk);
+            }
+            return;
+        }
+        // Hand each worker-claimed task its chunk through a take-once slot;
+        // `&mut` disjointness is guaranteed by `chunks_mut`.
+        let tasks: Vec<Mutex<Option<(usize, &mut [T])>>> = data
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(c, chunk)| Mutex::new(Some((c * chunk_len, chunk))))
+            .collect();
+        self.par_for_each(tasks.len(), |i| {
+            if let Some((start, chunk)) = relock(tasks[i].lock()).take() {
+                f(start, chunk);
+            }
+        });
+    }
+
+    /// Deterministic parallel reduction over `0..n`.
+    ///
+    /// The index range is split into chunks of `grain` indices; each chunk
+    /// is folded left-to-right as `combine(acc, map(i))` starting from
+    /// `init()`, and the per-chunk partials are then combined pairwise in
+    /// a fixed tree order. Both the chunk boundaries and the tree shape are
+    /// pure functions of `(n, grain)`, so the result — including
+    /// non-associative floating-point sums — is bit-identical for every
+    /// thread count, including the sequential path.
+    pub fn par_reduce<U, I, M, C>(&self, n: usize, grain: usize, init: I, map: M, combine: C) -> U
+    where
+        U: Send,
+        I: Fn() -> U + Sync,
+        M: Fn(usize) -> U + Sync,
+        C: Fn(U, U) -> U + Sync,
+    {
+        let grain = grain.max(1);
+        if n == 0 {
+            return init();
+        }
+        let fold_chunk = |lo: usize, hi: usize| {
+            let mut acc = init();
+            for i in lo..hi {
+                acc = combine(acc, map(i));
+            }
+            acc
+        };
+        let mut layer: Vec<U> = if self.inline() || n <= grain {
+            let n_chunks = n.div_ceil(grain);
+            (0..n_chunks)
+                .map(|c| fold_chunk(c * grain, ((c + 1) * grain).min(n)))
+                .collect()
+        } else {
+            self.chunked_collect(n, grain, fold_chunk)
+        };
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut it = layer.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(combine(a, b)),
+                    None => next.push(a),
+                }
+            }
+            layer = next;
+        }
+        match layer.pop() {
+            Some(v) => v,
+            None => init(),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = relock(self.shared.state.lock());
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Thread count for the global pool: `LE_POOL_THREADS` if set to a positive
+/// integer, otherwise the machine's available parallelism, otherwise 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("LE_POOL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// [`Pool::par_for_each`] on the global pool.
+pub fn par_for_each<F>(n_tasks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    Pool::global().par_for_each(n_tasks, f)
+}
+
+/// [`Pool::par_map_index`] on the global pool.
+pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    Pool::global().par_map_index(n, f)
+}
+
+/// [`Pool::par_map`] on the global pool.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    Pool::global().par_map(items, f)
+}
+
+/// [`Pool::par_for_chunks`] on the global pool.
+pub fn par_for_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    Pool::global().par_for_chunks(data, chunk_len, f)
+}
+
+/// [`Pool::par_reduce`] on the global pool.
+pub fn par_reduce<U, I, M, C>(n: usize, grain: usize, init: I, map: M, combine: C) -> U
+where
+    U: Send,
+    I: Fn() -> U + Sync,
+    M: Fn(usize) -> U + Sync,
+    C: Fn(U, U) -> U + Sync,
+{
+    Pool::global().par_reduce(n, grain, init, map, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic skewed per-index work: burn an index-dependent number
+    /// of FLOPs and return a value that depends on every iteration, so the
+    /// optimizer cannot collapse the imbalance.
+    fn skewed_work(i: usize) -> f64 {
+        let rounds = 1 + (i % 13) * 40;
+        let mut acc = (i as f64) * 1e-3 + 1.0;
+        for _ in 0..rounds {
+            acc = (acc * 1.000001).sin().abs() + 1.0e-9;
+        }
+        acc
+    }
+
+    #[test]
+    fn par_map_index_matches_sequential() {
+        let pool = Pool::with_threads(4);
+        let seq: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(pool.par_map_index(100, |i| i * i), seq);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let pool = Pool::with_threads(3);
+        let items: Vec<i64> = (0..57).map(|i| i - 20).collect();
+        let out = pool.par_map(&items, |x| x * 3);
+        let seq: Vec<i64> = items.iter().map(|x| x * 3).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let pool = Pool::with_threads(4);
+        assert_eq!(pool.par_map_index(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.par_map_index(1, |i| i + 7), vec![7]);
+        pool.par_for_each(0, |_| {});
+        let mut empty: [u8; 0] = [];
+        pool.par_for_chunks(&mut empty, 4, |_, _| {});
+    }
+
+    #[test]
+    fn determinism_under_forced_load_imbalance() {
+        // Same skewed workload across thread counts: outputs must be
+        // bitwise identical because results are stitched by index, not by
+        // completion order.
+        let reference: Vec<f64> = (0..257).map(skewed_work).collect();
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::with_threads(threads);
+            for _ in 0..3 {
+                let out = pool.par_map_index(257, skewed_work);
+                let same = out.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "bitwise mismatch at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_each_runs_every_task_exactly_once() {
+        let pool = Pool::with_threads(5);
+        let counts: Vec<AtomicUsize> = (0..311).map(|_| AtomicUsize::new(0)).collect();
+        pool.par_for_each(311, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_chunks_covers_all_elements() {
+        let pool = Pool::with_threads(4);
+        let mut data = vec![0usize; 103];
+        pool.par_for_chunks(&mut data, 10, |start, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = start + k;
+            }
+        });
+        let seq: Vec<usize> = (0..103).collect();
+        assert_eq!(data, seq);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_stays_usable() {
+        let pool = Pool::with_threads(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_for_each(64, |i| {
+                if i == 33 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool must survive a propagated panic and keep producing
+        // correct results.
+        let seq: Vec<usize> = (0..50).map(|i| i + 1).collect();
+        assert_eq!(pool.par_map_index(50, |i| i + 1), seq);
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let pool = Pool::global();
+        let out = pool.par_map_index(8, |i| {
+            // Inner call runs inline on whichever thread executes index i.
+            let inner: usize = pool.par_map_index(8, |j| i * j).iter().sum();
+            inner
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_reduce_float_result_is_thread_count_independent() {
+        // A non-associative float sum: chunk boundaries and tree order are
+        // functions of (n, grain) only, so all thread counts agree bitwise.
+        let n = 10_000;
+        let grain = 64;
+        let sum_at = |threads: usize| {
+            let pool = Pool::with_threads(threads);
+            pool.par_reduce(
+                n,
+                grain,
+                || 0.0f64,
+                |i| 1.0 / (i as f64 + 1.0),
+                |a, b| a + b,
+            )
+        };
+        let reference = sum_at(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(sum_at(threads).to_bits(), reference.to_bits());
+        }
+        // And it is a faithful harmonic sum (order differs from the naive
+        // left fold, so compare with tolerance).
+        let naive: f64 = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).sum();
+        assert!((reference - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_reduce_empty_returns_identity() {
+        let pool = Pool::with_threads(4);
+        let v = pool.par_reduce(0, 8, || 42.0f64, |_| 0.0, |a, b| a + b);
+        assert!((v - 42.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_reports_actual_count() {
+        let pool = Pool::with_threads(3);
+        assert!(pool.threads() >= 1 && pool.threads() <= 3);
+        let single = Pool::with_threads(1);
+        assert_eq!(single.threads(), 1);
+    }
+}

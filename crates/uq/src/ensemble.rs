@@ -7,7 +7,7 @@
 //! split up front so the result is identical at any thread count.
 
 use le_linalg::{Matrix, Rng};
-use le_mlkernels::pool;
+use le_pool as pool;
 use le_nn::{Mlp, MlpConfig, TrainConfig, Trainer};
 
 use crate::{Prediction, UncertainModel};

@@ -14,4 +14,13 @@ cargo test -q --offline --workspace
 echo "==> cargo run -p le-lint -- check"
 cargo run -q -p le-lint --offline -- check
 
+# Bench smoke: one timed sample through the two pool-parallelized hot paths
+# (cell-list neighbor search, NN potential). --json exercises the
+# results/BENCH_*.json writer end to end; a sanity grep confirms it wrote.
+echo "==> cargo bench smoke (celllist, nn_potential; 1 sample, json)"
+cargo bench -q --offline -p le-bench --bench celllist -- --samples 1 --json
+cargo bench -q --offline -p le-bench --bench nn_potential -- --samples 1 --json
+grep -q '"bench": "celllist"' results/BENCH_celllist.json
+grep -q '"bench": "nn_potential"' results/BENCH_nn_potential.json
+
 echo "verify: OK"
