@@ -1,0 +1,27 @@
+//! Temporary review stress test: concurrent dispatch on one pool.
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_dispatch_from_two_threads() {
+    let pool = Arc::new(le_pool::Pool::with_threads(4));
+    let bad = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let pool = Arc::clone(&pool);
+        let bad = Arc::clone(&bad);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..2000 {
+                let n = 64 + (t * 13 + round) % 64;
+                let out = pool.par_map_index(n, |i| i * 2 + t);
+                if out.len() != n || out.iter().enumerate().any(|(i, &v)| v != i * 2 + t) {
+                    bad.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(bad.load(Ordering::Relaxed), 0, "corrupted results under concurrent dispatch");
+}
