@@ -1,0 +1,270 @@
+//! A minimal JSON reader for the workspace's own artifacts.
+//!
+//! The harness writes `BENCH_*.json` and `le-obs` writes `OBS_*.json`;
+//! this module parses them back so tests can round-trip the documents
+//! without an external JSON dependency. It accepts standard JSON (objects,
+//! arrays, strings with the common escapes, numbers, booleans, null) —
+//! enough for any document this workspace produces.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object (None for other variants / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a usize (rejects negatives and fractions).
+    pub fn as_usize(&self) -> Option<usize> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= usize::MAX as f64 { // lint:allow(float-hygiene): integrality check, not a tolerance comparison
+            Some(n as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Returns `None` on any syntax error or trailing
+/// garbage.
+pub fn parse(doc: &str) -> Option<Value> {
+    let bytes = doc.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => parse_obj(b, pos),
+        b'[' => parse_arr(b, pos),
+        b'"' => parse_str(b, pos).map(Value::Str),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        _ => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Option<Value> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Value::Num)
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Option<String> {
+    if *b.get(*pos)? != b'"' {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match *b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match *b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                let ch = rest.chars().next()?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Option<Value> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if *b.get(*pos)? == b']' {
+        *pos += 1;
+        return Some(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Value::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Option<Value> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if *b.get(*pos)? == b'}' {
+        *pos += 1;
+        return Some(Value::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if *b.get(*pos)? != b':' {
+            return None;
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Value::Obj(members));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null"), Some(Value::Null));
+        assert_eq!(parse("true"), Some(Value::Bool(true)));
+        assert_eq!(parse("false"), Some(Value::Bool(false)));
+        assert_eq!(parse("-1.5e3"), Some(Value::Num(-1500.0)));
+        assert_eq!(parse("\"hi\""), Some(Value::Str("hi".into())));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let v = parse(r#""a\"b\\c\nA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nA"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = r#"{"a": [1, 2, {"b": "x"}], "c": {"d": null}}"#;
+        let v = parse(doc).unwrap();
+        let arr = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(|c| c.get("d")), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "\"unterminated", "1 2", "{]}"] {
+            assert_eq!(parse(bad), None, "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn as_usize_rejects_non_integers() {
+        assert_eq!(parse("3").unwrap().as_usize(), Some(3));
+        assert_eq!(parse("3.5").unwrap().as_usize(), None);
+        assert_eq!(parse("-1").unwrap().as_usize(), None);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]"), Some(Value::Arr(vec![])));
+        assert_eq!(parse("{}"), Some(Value::Obj(vec![])));
+    }
+}

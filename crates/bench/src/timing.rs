@@ -76,9 +76,15 @@ impl Harness {
     /// Harness taking `samples` timed batches per benchmark, ignoring the
     /// process arguments (used by tests).
     pub fn with_samples(samples: usize) -> Self {
+        Self::with_samples_json(samples, false)
+    }
+
+    /// Like [`Harness::with_samples`], with JSON output set explicitly
+    /// (used by tests that exercise the writer).
+    pub fn with_samples_json(samples: usize, json: bool) -> Self {
         Self {
             samples: samples.max(1),
-            json: false,
+            json,
             recorded: RefCell::new(Vec::new()),
         }
     }
@@ -108,6 +114,13 @@ impl Harness {
         let median = per_iter[per_iter.len() / 2];
         let min = per_iter[0];
         let max = per_iter[per_iter.len() - 1];
+        // Fold the per-sample batch times into the observability registry
+        // so every bench's OBS snapshot carries its own entries alongside
+        // whatever spans the benched code recorded.
+        let span = le_obs::global().span(&format!("bench.{name}"));
+        for &s in &per_iter {
+            span.record_ns((s * iters as f64 * 1e9) as u64);
+        }
         println!(
             "{name:<48} {} ({} … {}) × {iters} iters/sample",
             fmt_time(median),
@@ -130,7 +143,9 @@ impl Harness {
     }
 
     /// In `--json` mode, write every recorded measurement to
-    /// `results/BENCH_<name>.json` at the workspace root; otherwise a no-op.
+    /// `results/BENCH_<name>.json` at the workspace root, plus the global
+    /// observability snapshot as `results/OBS_bench_<name>.json` (whatever
+    /// spans/counters the benched code recorded); otherwise a no-op.
     /// IO failures are reported on stderr, never panicked on.
     pub fn finish(&self, name: &str) {
         if !self.json {
@@ -144,7 +159,46 @@ impl Harness {
         } else {
             println!("wrote {path}");
         }
+        match le_obs::write_snapshot(&format!("bench_{name}")) {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("warning: could not write OBS snapshot for {name}: {e}"),
+        }
     }
+}
+
+/// A `BENCH_*.json` document read back through [`parse_bench_json`].
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// The bench group name (`"bench"` field).
+    pub bench: String,
+    /// Timed batches per entry (`"samples"` field).
+    pub samples: usize,
+    /// The recorded measurements, in file order.
+    pub entries: Vec<Measurement>,
+}
+
+/// Parse a document produced by the `--json` writer back into its
+/// measurements. Returns `None` if the document is not valid JSON or does
+/// not have the `BENCH_*.json` shape.
+pub fn parse_bench_json(doc: &str) -> Option<BenchDoc> {
+    let v = crate::json::parse(doc)?;
+    let bench = v.get("bench")?.as_str()?.to_string();
+    let samples = v.get("samples")?.as_usize()?;
+    let mut entries = Vec::new();
+    for e in v.get("entries")?.as_arr()? {
+        entries.push(Measurement {
+            name: e.get("name")?.as_str()?.to_string(),
+            median_s: e.get("median_s")?.as_f64()?,
+            min_s: e.get("min_s")?.as_f64()?,
+            max_s: e.get("max_s")?.as_f64()?,
+            iters: e.get("iters")?.as_usize()?,
+        });
+    }
+    Some(BenchDoc {
+        bench,
+        samples,
+        entries,
+    })
 }
 
 /// Render the measurement set as a small self-contained JSON document.
@@ -252,6 +306,77 @@ mod tests {
         // Exactly one comma between the two entries, none trailing.
         assert_eq!(doc.matches("},\n").count(), 1);
         assert!(!doc.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_json() {
+        let entries = vec![
+            Measurement {
+                name: "grp/one".into(),
+                median_s: 1.5e-6,
+                min_s: 1.0e-6,
+                max_s: 2.0e-6,
+                iters: 100,
+            },
+            Measurement {
+                name: "grp/\"two\"".into(),
+                median_s: 3.0e-3,
+                min_s: 2.5e-3,
+                max_s: 3.5e-3,
+                iters: 2,
+            },
+        ];
+        let doc = parse_bench_json(&render_json("demo", 7, &entries)).unwrap();
+        assert_eq!(doc.bench, "demo");
+        assert_eq!(doc.samples, 7);
+        assert_eq!(doc.entries.len(), 2);
+        for (orig, back) in entries.iter().zip(doc.entries.iter()) {
+            assert_eq!(orig.name, back.name);
+            assert_eq!(orig.iters, back.iters);
+            assert_eq!(orig.median_s.to_bits(), back.median_s.to_bits());
+            assert_eq!(orig.min_s.to_bits(), back.min_s.to_bits());
+            assert_eq!(orig.max_s.to_bits(), back.max_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn written_bench_json_round_trips_from_disk() {
+        let h = Harness::with_samples_json(2, true);
+        h.bench("rt/a", || (0..64u64).sum::<u64>());
+        h.bench("rt/b", || (0..32u64).product::<u64>());
+        let name = "unit_roundtrip";
+        h.finish(name);
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+        let path = format!("{dir}/BENCH_{name}.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc = parse_bench_json(&body).unwrap();
+        assert_eq!(doc.bench, name);
+        assert_eq!(doc.entries.len(), 2);
+        assert_eq!(doc.entries[0].name, "rt/a");
+        assert_eq!(doc.entries[1].name, "rt/b");
+        for e in &doc.entries {
+            assert!(
+                e.min_s <= e.median_s && e.median_s <= e.max_s,
+                "ordering violated in {e:?}"
+            );
+            assert!(e.min_s > 0.0 && e.iters >= 1);
+        }
+        // finish() must also have dropped an OBS snapshot next to it.
+        let obs_path = format!("{dir}/OBS_bench_{name}.json");
+        let obs_body = std::fs::read_to_string(&obs_path).unwrap();
+        assert!(crate::json::parse(&obs_body).is_some(), "OBS snapshot must be valid JSON");
+        for p in [path, obs_path.clone(), obs_path.replace(".json", ".txt")] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_wrong_shape() {
+        assert!(parse_bench_json("not json").is_none());
+        assert!(parse_bench_json("{\"bench\": \"x\"}").is_none());
+        assert!(
+            parse_bench_json("{\"bench\": \"x\", \"samples\": 1, \"entries\": [{}]}").is_none()
+        );
     }
 
     #[test]

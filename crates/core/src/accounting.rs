@@ -4,11 +4,13 @@
 
 pub use le_perfmodel::{CampaignAccounting, EffectiveSpeedup, SpeedupTimes};
 
-/// Time a closure, returning `(result, seconds)`.
+/// Time a closure, returning `(result, seconds)`. The clock read lives in
+/// `le-obs` (the workspace's only wall-clock authority — see the le-lint
+/// `wallclock` rule).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement helper for speedup accounting
+    let sw = le_obs::Stopwatch::start();
     let result = f();
-    (result, start.elapsed().as_secs_f64())
+    (result, sw.elapsed_secs())
 }
 
 /// Pretty one-line summary of a measured effective speedup.

@@ -16,8 +16,6 @@
 //! UQ should decide when "the training routine might less likely need
 //! more data".
 
-use std::time::Instant;
-
 use le_linalg::Matrix;
 use le_perfmodel::CampaignAccounting;
 
@@ -169,17 +167,19 @@ impl<S: Simulator> HybridEngine<S> {
                 input.len()
             )));
         }
-        // Gate on the surrogate's uncertainty.
+        // Gate on the surrogate's uncertainty. The span records only when
+        // the gate admits the query, mirroring the accounting: a rejected
+        // prediction's cost belongs to the simulation that follows.
         let mut gate_std = None;
         if let Some(surrogate) = self.surrogate.as_mut() {
-            let t0 = Instant::now(); // lint:allow(determinism): wall-clock cost accounting only, never feeds the dynamics
+            let sp = le_obs::timed_span!("hybrid.lookup");
             let pred = surrogate.predict_with_uncertainty(input)?;
-            let elapsed = t0.elapsed().as_secs_f64();
             let std = pred.max_std();
             gate_std = Some(std);
             if std < self.config.uncertainty_threshold {
-                self.accounting.record_lookup(elapsed);
+                self.accounting.record_lookup(sp.finish_secs());
                 self.n_lookups += 1;
+                le_obs::counter!("hybrid.lookups").inc();
                 return Ok(QueryResult {
                     output: pred.mean,
                     source: QuerySource::Lookup,
@@ -187,15 +187,21 @@ impl<S: Simulator> HybridEngine<S> {
                 });
             }
         }
-        // Simulate; no run is wasted.
-        let t0 = Instant::now(); // lint:allow(determinism): wall-clock cost accounting only, never feeds the dynamics
+        // Simulate; no run is wasted. A failing simulator drops the span
+        // unrecorded (accounting records nothing either) and bumps the
+        // error counter instead.
+        let sp = le_obs::timed_span!("hybrid.simulate");
         self.seed_counter += 1;
         let output = self
             .simulator
             .simulate(input, self.seed_counter)
-            .map_err(|e| LeError::Simulation(e.to_string()))?;
-        self.accounting.record_training_sim(t0.elapsed().as_secs_f64());
+            .map_err(|e| {
+                le_obs::counter!("hybrid.sim_errors").inc();
+                LeError::Simulation(e.to_string())
+            })?;
+        self.accounting.record_training_sim(sp.finish_secs());
         self.n_simulations += 1;
+        le_obs::counter!("hybrid.simulations").inc();
         self.buffer_x.push(input.to_vec());
         self.buffer_y.push(output.clone());
         self.maybe_retrain();
@@ -235,6 +241,7 @@ impl<S: Simulator> HybridEngine<S> {
         };
         if due && self.retrain().is_err() {
             self.failed_retrains += 1;
+            le_obs::counter!("hybrid.retrain_errors").inc();
             // Push the next attempt out by the growth factor.
             self.runs_at_last_fit = n;
         }
@@ -259,9 +266,9 @@ impl<S: Simulator> HybridEngine<S> {
             x.row_mut(i).copy_from_slice(&self.buffer_x[i]);
             y.row_mut(i).copy_from_slice(&self.buffer_y[i]);
         }
-        let t0 = Instant::now(); // lint:allow(determinism): wall-clock cost accounting only, never feeds the dynamics
+        let sp = le_obs::timed_span!("hybrid.retrain");
         let surrogate = NnSurrogate::fit(&x, &y, &self.config.surrogate)?;
-        self.accounting.record_learning(t0.elapsed().as_secs_f64());
+        self.accounting.record_learning(sp.finish_secs());
         self.surrogate = Some(surrogate);
         self.runs_at_last_fit = n;
         Ok(())

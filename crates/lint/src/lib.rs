@@ -25,8 +25,14 @@
 //!   `le_linalg::rng` seeds.
 //! * **L5 `lint-headers`** — every crate root must carry the agreed
 //!   `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` header.
+//! * **L6 `wallclock`** — raw wall-clock reads (`Instant::now`,
+//!   `SystemTime`) are forbidden in *every* library crate except the
+//!   observability layer itself (`le-obs`) and the bench harness's
+//!   calibration loop (`le-bench`'s `timing.rs`). All timing flows through
+//!   `le_obs` spans/`Stopwatch`, so telemetry and accounting cannot
+//!   disagree. This rule has **no** `lint:allow` escape.
 //!
-//! Any finding can be suppressed for one line with a trailing
+//! Any finding except L6 can be suppressed for one line with a trailing
 //! `// lint:allow(<rule>)` comment (a justification after a `:` is
 //! encouraged: `// lint:allow(no-panic): length checked above`).
 
@@ -41,7 +47,7 @@ pub mod workspace;
 
 pub use workspace::{check_workspace, Report};
 
-/// The five workspace lint rules.
+/// The six workspace lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// L1: only in-tree dependencies in any manifest.
@@ -54,16 +60,20 @@ pub enum Rule {
     Determinism,
     /// L5: crate roots carry the agreed lint header.
     LintHeaders,
+    /// L6: raw wall-clock reads only inside `le-obs` and the bench
+    /// harness's calibration loop.
+    WallClock,
 }
 
 impl Rule {
-    /// All rules, in L1..L5 order.
-    pub const ALL: [Rule; 5] = [
+    /// All rules, in L1..L6 order.
+    pub const ALL: [Rule; 6] = [
         Rule::Hermeticity,
         Rule::NoPanic,
         Rule::FloatHygiene,
         Rule::Determinism,
         Rule::LintHeaders,
+        Rule::WallClock,
     ];
 
     /// The stable rule name used in diagnostics and `lint:allow(...)`.
@@ -74,6 +84,7 @@ impl Rule {
             Rule::FloatHygiene => "float-hygiene",
             Rule::Determinism => "determinism",
             Rule::LintHeaders => "lint-headers",
+            Rule::WallClock => "wallclock",
         }
     }
 }
@@ -134,6 +145,15 @@ pub const SIM_KERNEL_CRATES: [&str; 7] = [
     "le-mlkernels",
 ];
 
+/// The only crate allowed to read the wall clock directly (rule L6): the
+/// observability layer everything else records timings through.
+pub const WALLCLOCK_AUTHORITY_CRATE: &str = "le-obs";
+
+/// `(crate, file-name)` pairs additionally exempt from L6: the bench
+/// harness's calibration loop owns its clock reads (it feeds measurements
+/// back into `le-obs` spans and `BENCH_*.json`).
+pub const WALLCLOCK_EXEMPT_FILES: [(&str, &str); 1] = [("le-bench", "timing.rs")];
+
 /// Escape a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -167,7 +187,14 @@ mod tests {
         let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
         assert_eq!(
             names,
-            ["hermeticity", "no-panic", "float-hygiene", "determinism", "lint-headers"]
+            [
+                "hermeticity",
+                "no-panic",
+                "float-hygiene",
+                "determinism",
+                "lint-headers",
+                "wallclock"
+            ]
         );
     }
 

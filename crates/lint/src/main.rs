@@ -11,8 +11,8 @@ use le_lint::check_workspace;
 const USAGE: &str = "usage: le-lint check [--root PATH] [--format text|json]
 
 Runs the workspace lint rules (hermeticity, no-panic, float-hygiene,
-determinism, lint-headers) over every crate. Exits 0 when clean, 1 when
-violations are found, 2 on usage or I/O errors.";
+determinism, lint-headers, wallclock) over every crate. Exits 0 when
+clean, 1 when violations are found, 2 on usage or I/O errors.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();

@@ -1,4 +1,4 @@
-//! The source-level rule matchers (L2, L3, L4, L5).
+//! The source-level rule matchers (L2, L3, L4, L5, L6).
 //!
 //! Each matcher takes scanned lines (see [`crate::scanner`]) and returns
 //! findings as `(line_number, message)` pairs; the workspace driver
@@ -31,6 +31,31 @@ pub fn check_no_panic(lines: &[Line]) -> Vec<(usize, String)> {
 /// Check L4 over scanned lines.
 pub fn check_determinism(lines: &[Line]) -> Vec<(usize, String)> {
     check_patterns(lines, "determinism", &DETERMINISM_PATTERNS)
+}
+
+/// L6: raw wall-clock reads anywhere outside the observability layer.
+const WALLCLOCK_PATTERNS: [(&str, &str); 2] = [
+    ("Instant::now", "raw `Instant::now` outside `le-obs` — use `le_obs::Stopwatch`, `le_obs::span!`, or `le_obs::timed_span!` so telemetry and accounting share one clock read"),
+    ("SystemTime", "raw `SystemTime` outside `le-obs` — wall-clock reads flow through the observability layer"),
+];
+
+/// Check L6 over scanned lines. Unlike the other pattern rules this one has
+/// **no** `lint:allow` escape: the allowlist is structural (the `le-obs`
+/// crate and `le-bench`'s `timing.rs`), enforced by the workspace driver.
+/// `#[cfg(test)]` modules remain exempt — tests may time themselves.
+pub fn check_wallclock(lines: &[Line]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (pat, msg) in &WALLCLOCK_PATTERNS {
+            if line.code.contains(pat) {
+                out.push((idx + 1, (*msg).to_string()));
+            }
+        }
+    }
+    out
 }
 
 fn check_patterns(
@@ -279,6 +304,37 @@ mod tests {
             "let t = Instant::now(); // lint:allow(determinism): wall-clock report only"
         ))
         .is_empty());
+    }
+
+    #[test]
+    fn wallclock_fires_and_has_no_allow_escape() {
+        for snippet in [
+            "let t = std::time::Instant::now();",
+            "let t = SystemTime::now();",
+            "let t = Instant::now(); // lint:allow(wallclock): no such escape",
+            "let t = Instant::now(); // lint:allow(determinism): wrong rule",
+        ] {
+            let hits = check_wallclock(&scan(snippet));
+            assert_eq!(hits.len(), 1, "expected one hit for {snippet}");
+        }
+    }
+
+    #[test]
+    fn wallclock_negative_cases() {
+        for snippet in [
+            "let sw = le_obs::Stopwatch::start();",
+            "// a comment mentioning Instant::now",
+            "let s = \"SystemTime\";",
+        ] {
+            let hits = check_wallclock(&scan(snippet));
+            assert!(hits.is_empty(), "false positive on {snippet}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn wallclock_exempts_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}";
+        assert!(check_wallclock(&scan(src)).is_empty());
     }
 
     #[test]

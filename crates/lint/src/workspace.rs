@@ -8,7 +8,10 @@ use std::path::{Path, PathBuf};
 use crate::manifest;
 use crate::rules;
 use crate::scanner;
-use crate::{json_escape, rel_to, Rule, Violation, SIM_KERNEL_CRATES};
+use crate::{
+    json_escape, rel_to, Rule, Violation, SIM_KERNEL_CRATES, WALLCLOCK_AUTHORITY_CRATE,
+    WALLCLOCK_EXEMPT_FILES,
+};
 
 /// The outcome of a full workspace check.
 #[derive(Debug, Default)]
@@ -81,7 +84,7 @@ struct Member {
     src: PathBuf,
 }
 
-/// Run all five rules over the workspace rooted at `root`.
+/// Run all six rules over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
     let members = locate_members(root)?;
     let names: BTreeSet<String> = members.iter().map(|m| m.name.clone()).collect();
@@ -104,8 +107,9 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
             });
         }
 
-        // L2–L5 over the crate's sources.
+        // L2–L6 over the crate's sources.
         let is_sim = SIM_KERNEL_CRATES.contains(&member.name.as_str());
+        let is_clock_authority = member.name == WALLCLOCK_AUTHORITY_CRATE;
         let root_file = member.src.join("lib.rs");
         for source in rust_sources(&member.src)? {
             let src = fs::read_to_string(&source)?;
@@ -137,6 +141,17 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
                             file: file.clone(),
                             line,
                             rule: Rule::Determinism,
+                            message,
+                        });
+                    }
+                }
+                if !is_clock_authority && !is_wallclock_exempt(&member.name, &member.src, &source)
+                {
+                    for (line, message) in rules::check_wallclock(&lines) {
+                        report.violations.push(Violation {
+                            file: file.clone(),
+                            line,
+                            rule: Rule::WallClock,
                             message,
                         });
                     }
@@ -238,6 +253,14 @@ fn is_bin_source(src: &Path, source: &Path) -> bool {
     source == src.join("main.rs") || source.starts_with(src.join("bin"))
 }
 
+/// L6 structural allowlist: `(crate, file)` pairs from
+/// [`WALLCLOCK_EXEMPT_FILES`] may read the clock directly.
+fn is_wallclock_exempt(crate_name: &str, src: &Path, source: &Path) -> bool {
+    WALLCLOCK_EXEMPT_FILES
+        .iter()
+        .any(|(name, file)| *name == crate_name && source == src.join(file))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +272,14 @@ mod tests {
         assert!(is_bin_source(src, &src.join("bin/tool.rs")));
         assert!(!is_bin_source(src, &src.join("lib.rs")));
         assert!(!is_bin_source(src, &src.join("binary_ops.rs")));
+    }
+
+    #[test]
+    fn wallclock_exemption_is_crate_and_file_scoped() {
+        let src = Path::new("/w/crates/bench/src");
+        assert!(is_wallclock_exempt("le-bench", src, &src.join("timing.rs")));
+        assert!(!is_wallclock_exempt("le-bench", src, &src.join("lib.rs")));
+        assert!(!is_wallclock_exempt("le-core", src, &src.join("timing.rs")));
     }
 
     #[test]

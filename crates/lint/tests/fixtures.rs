@@ -67,7 +67,20 @@ fn float_hygiene_fixture_flags_exact_comparison() {
 
 #[test]
 fn determinism_fixture_flags_wall_clock_in_sim_crate() {
-    assert_eq!(rules_fired(&fixture("determinism")), [Rule::Determinism]);
+    // The sim-crate clock read now trips both the sim-scoped L4 rule and
+    // the workspace-wide L6 wallclock rule.
+    assert_eq!(
+        rules_fired(&fixture("determinism")),
+        [Rule::Determinism, Rule::WallClock]
+    );
+}
+
+#[test]
+fn wallclock_fixture_flags_clock_read_despite_allow_comment() {
+    let report = check_workspace(&fixture("wallclock")).expect("scan");
+    let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, [Rule::WallClock], "{}", report.to_text());
+    assert!(report.violations[0].message.contains("le-obs"));
 }
 
 #[test]
@@ -85,8 +98,8 @@ fn real_workspace_is_clean() {
         "workspace has lint violations:\n{}",
         report.to_text()
     );
-    // All 13 crates plus the root package.
-    assert_eq!(report.manifests_scanned, 14);
+    // All 14 crates plus the root package.
+    assert_eq!(report.manifests_scanned, 15);
     assert!(report.files_scanned > 50);
 }
 
@@ -106,6 +119,7 @@ fn cli_exit_codes() {
         "float_hygiene",
         "determinism",
         "lint_headers",
+        "wallclock",
     ] {
         let out = Command::new(bin)
             .args(["check", "--root"])

@@ -125,51 +125,63 @@ pub fn run(
     };
 
     for step in 0..n_steps {
-        // B: half kick.
-        for i in 0..sys.len() {
-            let inv_m = 1.0 / sys.mass[i];
-            for k in 0..3 {
-                sys.vel[i][k] += half_dt * sys.force[i][k] * inv_m;
-            }
-        }
-        clamp_speed(&mut sys.vel);
-        // A: half drift.
-        for i in 0..sys.len() {
-            for k in 0..3 {
-                sys.pos[i][k] += half_dt * sys.vel[i][k];
-            }
-        }
-        // O: Ornstein-Uhlenbeck exact solve (skipped when gamma = 0 → NVE).
-        if integ.gamma > 0.0 {
+        let _step_sp = le_obs::span!("mdsim.step");
+        {
+            // B-A-O-A half of the BAOAB splitting, timed as "integrate".
+            let _sp = le_obs::span!("mdsim.integrate");
+            // B: half kick.
             for i in 0..sys.len() {
-                let c2 = ((1.0 - c1 * c1) * integ.temperature / sys.mass[i]).sqrt();
+                let inv_m = 1.0 / sys.mass[i];
                 for k in 0..3 {
-                    sys.vel[i][k] = c1 * sys.vel[i][k] + c2 * rng.gaussian();
+                    sys.vel[i][k] += half_dt * sys.force[i][k] * inv_m;
                 }
             }
-        }
-        // A: half drift.
-        for i in 0..sys.len() {
-            for k in 0..3 {
-                sys.pos[i][k] += half_dt * sys.vel[i][k];
+            clamp_speed(&mut sys.vel);
+            // A: half drift.
+            for i in 0..sys.len() {
+                for k in 0..3 {
+                    sys.pos[i][k] += half_dt * sys.vel[i][k];
+                }
             }
-            let mut r = sys.pos[i];
-            sys.bbox.wrap(&mut r);
-            sys.pos[i] = r;
+            // O: Ornstein-Uhlenbeck exact solve (skipped when gamma = 0 → NVE).
+            if integ.gamma > 0.0 {
+                for i in 0..sys.len() {
+                    let c2 = ((1.0 - c1 * c1) * integ.temperature / sys.mass[i]).sqrt();
+                    for k in 0..3 {
+                        sys.vel[i][k] = c1 * sys.vel[i][k] + c2 * rng.gaussian();
+                    }
+                }
+            }
+            // A: half drift.
+            for i in 0..sys.len() {
+                for k in 0..3 {
+                    sys.pos[i][k] += half_dt * sys.vel[i][k];
+                }
+                let mut r = sys.pos[i];
+                sys.bbox.wrap(&mut r);
+                sys.pos[i] = r;
+            }
         }
         // Force refresh (cell list rebuilt periodically).
         if step % integ.cell_rebuild_interval == 0 {
+            let _sp = le_obs::span!("mdsim.celllist");
             cells = CellList::build(sys.bbox, bin, &sys.pos);
         }
-        potential = compute_forces_with(sys, ff, &cells, &mut scratch);
-        // B: half kick.
-        for i in 0..sys.len() {
-            let inv_m = 1.0 / sys.mass[i];
-            for k in 0..3 {
-                sys.vel[i][k] += half_dt * sys.force[i][k] * inv_m;
-            }
+        {
+            let _sp = le_obs::span!("mdsim.force");
+            potential = compute_forces_with(sys, ff, &cells, &mut scratch);
         }
-        clamp_speed(&mut sys.vel);
+        {
+            // Final B half-kick belongs to the integrate budget too.
+            let _sp = le_obs::span!("mdsim.integrate");
+            for i in 0..sys.len() {
+                let inv_m = 1.0 / sys.mass[i];
+                for k in 0..3 {
+                    sys.vel[i][k] += half_dt * sys.force[i][k] * inv_m;
+                }
+            }
+            clamp_speed(&mut sys.vel);
+        }
 
         // Stability guard.
         let ke = sys.kinetic_energy();

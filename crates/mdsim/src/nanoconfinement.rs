@@ -12,8 +12,6 @@
 //! the positive species. One [`NanoSim::run`] call is one "expensive HPC
 //! simulation"; the MLaroundHPC machinery in `learning-everywhere` wraps it.
 
-use std::time::Instant;
-
 use le_linalg::Rng;
 
 use crate::forces::{debye_kappa, ForceField, BJERRUM_WATER, IONS_PER_NM3_PER_MOLAR};
@@ -263,7 +261,9 @@ impl NanoSim {
     /// densities.
     pub fn run(&self, params: &NanoParams, seed: u64) -> Result<(DensityOutputs, RunStats)> {
         params.validate()?;
-        let start = Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
+        // Wall-clock for the report only; never feeds the dynamics. The
+        // timed span also lands the run in the OBS snapshot.
+        let sp = le_obs::timed_span!("mdsim.nanosim_run");
         let cfg = &self.config;
         let bbox = SlabBox::new(cfg.lateral, cfg.lateral, params.h)?;
         let mut sys = System::new(bbox);
@@ -354,7 +354,7 @@ impl NanoSim {
             peak: features.peak,
         };
         let stats = RunStats {
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: sp.finish_secs(),
             n_particles: sys.len(),
             profile,
             profile_se,

@@ -141,7 +141,8 @@ pub fn train(
         .map(|_| rng.uniform_in(0.0, scale))
         .collect();
     let mut history = Vec::with_capacity(cfg.epochs);
-    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
+    // Wall-clock for the report only, never feeds the dynamics.
+    let start = le_obs::timed_span!("mlkernels.ccd");
 
     match model {
         SyncModel::Locking => {
@@ -387,7 +388,7 @@ pub fn train(
             model,
             threads: cfg.threads,
             objective: history,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: start.finish_secs(),
         },
     ))
 }

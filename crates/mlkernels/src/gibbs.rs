@@ -104,7 +104,8 @@ pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f
     let shards = partition(data.len(), cfg.threads);
     // Pre-split per-worker RNGs per sweep for determinism where possible.
     let mut history = Vec::with_capacity(cfg.sweeps);
-    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
+    // Wall-clock for the report only, never feeds the dynamics.
+    let start = le_obs::timed_span!("mlkernels.gibbs");
 
     for sweep in 0..cfg.sweeps {
         // Per-worker RNG seeds (deterministic).
@@ -257,7 +258,7 @@ pub fn train(data: &[f64], model: SyncModel, cfg: &GibbsConfig) -> Result<(Vec<f
             model,
             threads: cfg.threads,
             objective: history,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: start.finish_secs(),
         },
     ))
 }

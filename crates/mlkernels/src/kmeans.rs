@@ -143,7 +143,8 @@ pub fn train(
     let mut centroids = init_centroids(data, cfg.k, &mut rng);
     let shards = partition(data.len(), cfg.threads);
     let mut history = Vec::with_capacity(cfg.iterations);
-    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
+    // Wall-clock for the report only, never feeds the dynamics.
+    let start = le_obs::timed_span!("mlkernels.kmeans");
 
     for _iter in 0..cfg.iterations {
         let (sums, counts) = match model {
@@ -289,7 +290,7 @@ pub fn train(
             model,
             threads: cfg.threads,
             objective: history,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: start.finish_secs(),
         },
     ))
 }

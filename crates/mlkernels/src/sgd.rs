@@ -119,7 +119,8 @@ pub fn train(
     let d = validate(x, y, cfg)?;
     let shards = partition(x.len(), cfg.threads);
     let mut history = Vec::with_capacity(cfg.epochs);
-    let start = std::time::Instant::now(); // lint:allow(determinism): wall-clock measurement for the report only, never feeds the dynamics
+    // Wall-clock for the report only, never feeds the dynamics.
+    let start = le_obs::timed_span!("mlkernels.sgd");
     let w_final = match model {
         SyncModel::Locking => {
             let w = Mutex::new(vec![0.0; d]);
@@ -307,7 +308,7 @@ pub fn train(
             model,
             threads: cfg.threads,
             objective: history,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: start.finish_secs(),
         },
     ))
 }

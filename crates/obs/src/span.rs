@@ -1,0 +1,213 @@
+//! Span guards and the thread-local nesting stack.
+//!
+//! This module (together with the bench harness's calibration loop) is the
+//! only place in the workspace allowed to read the wall clock — the
+//! le-lint `wallclock` rule enforces it. Everything downstream consumes
+//! durations through these guards.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::registry::Span;
+
+thread_local! {
+    /// Current span nesting depth on this thread (0 = no open span).
+    static DEPTH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The current span nesting depth on this thread (0 outside any span).
+pub fn current_depth() -> u64 {
+    DEPTH.with(|d| d.get())
+}
+
+/// Depth to stamp on a manual [`Span::record_ns`]: one below an enclosing
+/// guard counts as entering a fresh level.
+pub(crate) fn depth_for_record() -> u64 {
+    DEPTH.with(|d| d.get()) + 1
+}
+
+fn push_depth() -> u64 {
+    DEPTH.with(|d| {
+        let v = d.get() + 1;
+        d.set(v);
+        v
+    })
+}
+
+fn pop_depth() {
+    DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+}
+
+fn dur_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// RAII span timer: records duration/count/min/max/depth on drop. Created
+/// by [`Span::enter`] / the [`crate::span!`] macro. When recording is
+/// disabled the guard is inert and never reads the clock.
+pub struct SpanGuard<'a> {
+    active: Option<(&'a Span, Instant, u64)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((span, start, depth)) = self.active.take() {
+            span.record_at_depth(dur_ns(start.elapsed()), depth);
+            pop_depth();
+        }
+    }
+}
+
+/// An always-timing span guard whose measurement the caller consumes:
+/// [`TimedSpan::finish_secs`] records to the registry (when enabled) and
+/// returns the elapsed seconds, so telemetry and the caller's accounting
+/// share one clock read. Dropping without `finish_secs` (an error path)
+/// records nothing.
+pub struct TimedSpan<'a> {
+    span: &'a Span,
+    start: Instant,
+    /// `Some(depth)` while this guard holds a slot on the nesting stack
+    /// (only when recording was enabled at entry).
+    depth: Option<u64>,
+}
+
+impl<'a> TimedSpan<'a> {
+    /// Stop the clock, record (when enabled), and return elapsed seconds.
+    pub fn finish_secs(self) -> f64 {
+        let elapsed = self.start.elapsed();
+        if let Some(depth) = self.depth {
+            self.span.record_at_depth(dur_ns(elapsed), depth);
+        }
+        elapsed.as_secs_f64()
+        // `self` drops here, popping the nesting stack.
+    }
+}
+
+impl Drop for TimedSpan<'_> {
+    fn drop(&mut self) {
+        if self.depth.take().is_some() {
+            pop_depth();
+        }
+    }
+}
+
+impl Span {
+    /// Enter this span; the returned guard records on drop. Inert (no
+    /// clock read) when recording is disabled.
+    pub fn enter(&self) -> SpanGuard<'_> {
+        if !self.recording() {
+            return SpanGuard { active: None };
+        }
+        let depth = push_depth();
+        SpanGuard {
+            active: Some((self, Instant::now(), depth)),
+        }
+    }
+
+    /// Enter this span with a guard that always times (see [`TimedSpan`]).
+    pub fn enter_timed(&self) -> TimedSpan<'_> {
+        let depth = if self.recording() {
+            Some(push_depth())
+        } else {
+            None
+        };
+        TimedSpan {
+            span: self,
+            start: Instant::now(),
+            depth,
+        }
+    }
+}
+
+/// A bare wall-clock stopwatch for measurement helpers that have no span
+/// name (e.g. `learning_everywhere::accounting::timed`). Keeping it here
+/// keeps raw `Instant` reads inside `le-obs`.
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start the clock.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`] (saturating), ready to feed
+    /// [`crate::Span::record_ns`].
+    pub fn elapsed_ns(&self) -> u64 {
+        dur_ns(self.start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn guard_records_on_drop_and_tracks_depth() {
+        let reg = Registry::new();
+        let outer = reg.span("outer");
+        let inner = reg.span("inner");
+        assert_eq!(current_depth(), 0);
+        {
+            let _a = outer.enter();
+            assert_eq!(current_depth(), 1);
+            {
+                let _b = inner.enter();
+                assert_eq!(current_depth(), 2);
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 1);
+        assert_eq!(outer.max_depth(), 1);
+        assert_eq!(inner.max_depth(), 2);
+        assert!(inner.total_ns() <= outer.total_ns());
+    }
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let reg = Registry::with_enabled(false);
+        let s = reg.span("s");
+        {
+            let _g = s.enter();
+            assert_eq!(current_depth(), 0, "disabled guard takes no depth slot");
+        }
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn timed_span_records_only_on_finish() {
+        let reg = Registry::new();
+        let s = reg.span("s");
+        {
+            let _dropped = s.enter_timed();
+            // dropped without finish_secs — an error path.
+        }
+        assert_eq!(s.count(), 0, "unfinished timed span leaves no trace");
+        assert_eq!(current_depth(), 0);
+        let g = s.enter_timed();
+        let secs = g.finish_secs();
+        assert!(secs >= 0.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(b >= a && a >= 0.0);
+    }
+}

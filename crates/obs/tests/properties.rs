@@ -1,0 +1,173 @@
+//! Determinism properties of the metrics layer, exercised end to end:
+//! shard merges are exact (integer) and therefore associative and
+//! commutative; span nesting depth is tracked through guards; and totals
+//! recorded through the pool are bit-identical no matter how many worker
+//! threads the schedule used.
+
+use le_obs::Registry;
+use le_pool::Pool;
+
+// ---------------------------------------------------------------------------
+// Histogram shard-merge properties
+// ---------------------------------------------------------------------------
+
+/// Merge per-shard bucket rows in the given order.
+fn merge_in_order(shards: &[Vec<u64>], order: &[usize]) -> Vec<u64> {
+    let width = shards.first().map(Vec::len).unwrap_or(0);
+    let mut out = vec![0u64; width];
+    for &s in order {
+        for (acc, &c) in out.iter_mut().zip(shards[s].iter()) {
+            *acc = acc.wrapping_add(c);
+        }
+    }
+    out
+}
+
+#[test]
+fn histogram_shard_merge_is_associative_and_commutative() {
+    let reg = Registry::new();
+    let h = reg.histogram("merge.h", &[1.0, 10.0, 100.0, 1000.0]);
+
+    // Populate from 8 threads so multiple shards hold nonzero rows. Each
+    // thread records a deterministic value set.
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..200usize {
+                    h.record(((t * 977 + i * 31) % 2000) as f64);
+                }
+            });
+        }
+    });
+
+    let shards = h.shard_counts();
+    let n = shards.len();
+    let reference = merge_in_order(&shards, &(0..n).collect::<Vec<_>>());
+    assert_eq!(reference, h.counts(), "ascending-order merge is the snapshot");
+    assert_eq!(reference.iter().sum::<u64>(), 1600, "every record landed");
+
+    // Commutativity: reversed and rotated orders give the same merge.
+    let reversed: Vec<usize> = (0..n).rev().collect();
+    assert_eq!(merge_in_order(&shards, &reversed), reference);
+    let rotated: Vec<usize> = (0..n).map(|i| (i + 3) % n).collect();
+    assert_eq!(merge_in_order(&shards, &rotated), reference);
+    // A fixed interleaved order (even shards then odd).
+    let interleaved: Vec<usize> = (0..n).step_by(2).chain((1..n).step_by(2)).collect();
+    assert_eq!(merge_in_order(&shards, &interleaved), reference);
+
+    // Associativity: merging a prefix and suffix separately, then
+    // combining, equals the one-pass merge.
+    let left = merge_in_order(&shards, &(0..n / 2).collect::<Vec<_>>());
+    let right = merge_in_order(&shards, &(n / 2..n).collect::<Vec<_>>());
+    let combined: Vec<u64> = left
+        .iter()
+        .zip(right.iter())
+        .map(|(&a, &b)| a.wrapping_add(b))
+        .collect();
+    assert_eq!(combined, reference);
+}
+
+// ---------------------------------------------------------------------------
+// Span nesting depth invariants
+// ---------------------------------------------------------------------------
+
+#[test]
+fn span_guards_track_nesting_depth() {
+    let reg = Registry::new();
+    let outer = reg.span("depth.outer");
+    let inner = reg.span("depth.inner");
+
+    {
+        let _o = outer.enter();
+        {
+            let _i = inner.enter();
+            {
+                // Re-entering the same span one level deeper.
+                let _i2 = inner.enter();
+            }
+        }
+    }
+    assert_eq!(outer.count(), 1);
+    assert_eq!(inner.count(), 2);
+    assert_eq!(outer.max_depth(), 1, "top-level span records depth 1");
+    assert_eq!(inner.max_depth(), 3, "doubly nested span records depth 3");
+}
+
+#[test]
+fn span_depth_is_per_thread() {
+    let reg = Registry::new();
+    let s = reg.span("depth.cross_thread");
+    let outer = reg.span("depth.cross_outer");
+    let _o = outer.enter();
+    // A span entered on a *different* thread starts at depth 1 there: the
+    // nesting stack is thread-local, not ambient.
+    std::thread::scope(|scope| {
+        let s2 = s.clone();
+        scope.spawn(move || {
+            let _g = s2.enter();
+        });
+    });
+    assert_eq!(s.max_depth(), 1);
+}
+
+#[test]
+fn timed_span_records_only_on_finish() {
+    let reg = Registry::new();
+    let s = reg.span("timed.finish_only");
+    {
+        // Dropped without `finish_secs` — e.g. an error path — leaves no
+        // trace, so span counts always match accounting event counts.
+        let _t = s.enter_timed();
+    }
+    assert_eq!(s.count(), 0);
+    let t = s.enter_timed();
+    let secs = t.finish_secs();
+    assert!(secs >= 0.0);
+    assert_eq!(s.count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance
+// ---------------------------------------------------------------------------
+
+/// A fixed workload recorded through the pool: the counter total, histogram
+/// bucket counts, span count, and span total must not depend on how many
+/// workers executed it.
+fn pooled_workload(threads: usize) -> (u64, Vec<u64>, u64, u64) {
+    let reg = Registry::new();
+    let c = reg.counter("inv.items");
+    let h = reg.histogram("inv.sizes", &[10.0, 100.0, 1000.0]);
+    let s = reg.span("inv.work");
+    let pool = Pool::with_threads(threads);
+    pool.par_for_each(1000, |i| {
+        c.inc();
+        h.record((i % 1500) as f64);
+        s.record_ns((i as u64 % 97) + 1);
+    });
+    (c.value(), h.counts(), s.count(), s.total_ns())
+}
+
+#[test]
+fn totals_bit_identical_across_thread_counts() {
+    let baseline = pooled_workload(1);
+    assert_eq!(baseline.0, 1000);
+    assert_eq!(baseline.2, 1000);
+    for threads in [4usize, 7] {
+        let got = pooled_workload(threads);
+        assert_eq!(
+            got, baseline,
+            "metrics diverged at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn counter_totals_exact_under_concurrent_add() {
+    let reg = Registry::new();
+    let c = reg.counter("exact.adds");
+    let pool = Pool::with_threads(7);
+    pool.par_for_each(513, |i| c.add(i as u64 + 1));
+    // Sum 1..=513 — exact, no increments lost to racing shards.
+    assert_eq!(c.value(), 513 * 514 / 2);
+}

@@ -64,6 +64,28 @@ impl CampaignAccounting {
         self.train_sim_seconds + self.learn_seconds + self.lookup_seconds
     }
 
+    /// Accumulated training-simulation seconds (the `n_train` phase total).
+    /// Exposed so the observability conformance suite can check that span
+    /// telemetry and accounting agree.
+    pub fn train_sim_seconds(&self) -> f64 {
+        self.train_sim_seconds
+    }
+
+    /// Accumulated surrogate-(re)training seconds.
+    pub fn learn_seconds(&self) -> f64 {
+        self.learn_seconds
+    }
+
+    /// Accumulated lookup seconds.
+    pub fn lookup_seconds(&self) -> f64 {
+        self.lookup_seconds
+    }
+
+    /// Count of surrogate (re)trainings recorded.
+    pub fn learn_events(&self) -> u64 {
+        self.learn_events
+    }
+
     /// Derive the per-unit characteristic times measured so far.
     /// Errors if no training simulations were recorded (no cost basis).
     pub fn times(&self) -> Result<SpeedupTimes> {

@@ -34,6 +34,14 @@
 //!   loop would have panicked), leaving the pool reusable.
 //! * **Nested-call safety** — a parallel call from inside a pool job runs
 //!   inline (sequentially) instead of deadlocking on the single job slot.
+//! * **Instrumented** — every dispatch records to the `le-obs` global
+//!   registry: `le_pool.jobs` (dispatches), `le_pool.tasks_claimed`
+//!   (cursor claims on the pooled path; the inline path claims nothing),
+//!   the `le_pool.job` span (dispatch wall time), `le_pool.worker_busy`
+//!   (per-worker time inside a claimed job), and `le_pool.queue_wait`
+//!   (post-to-claim latency per worker). These describe the *schedule*, so
+//!   they legitimately vary with thread count — unlike metrics recorded by
+//!   the parallel work itself, which merge exactly (see `le-obs`).
 //!
 //! # Grain policy
 //!
@@ -84,6 +92,9 @@ thread_local! {
 struct State {
     /// The single-slot injector: the job currently being executed, if any.
     job: Option<Job>,
+    /// Started when the current job was posted; workers read it at claim
+    /// time to record queue wait (`le_pool.queue_wait`).
+    posted: Option<le_obs::Stopwatch>,
     /// Bumped once per dispatch so sleeping workers can tell a fresh job
     /// from one they already ran (or missed).
     epoch: u64,
@@ -173,6 +184,12 @@ fn worker_loop(shared: &Shared) {
                     seen = st.epoch;
                     if let Some(job) = st.job {
                         st.active += 1;
+                        if let Some(sw) = &st.posted {
+                            static QUEUE_WAIT: OnceLock<le_obs::Span> = OnceLock::new();
+                            QUEUE_WAIT
+                                .get_or_init(|| le_obs::global().span("le_pool.queue_wait"))
+                                .record_ns(sw.elapsed_ns());
+                        }
                         break job;
                     }
                 }
@@ -181,7 +198,10 @@ fn worker_loop(shared: &Shared) {
         };
 
         IN_POOL.with(|c| c.set(true));
-        let result = catch_unwind(AssertUnwindSafe(|| job()));
+        let result = {
+            let _busy = le_obs::span!("le_pool.worker_busy");
+            catch_unwind(AssertUnwindSafe(|| job()))
+        };
         IN_POOL.with(|c| c.set(false));
 
         let mut st = relock(shared.state.lock());
@@ -214,6 +234,7 @@ impl Pool {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 job: None,
+                posted: None,
                 epoch: 0,
                 active: 0,
                 shutdown: false,
@@ -255,9 +276,12 @@ impl Pool {
     /// Post `f` to the workers, run it on the caller too, wait for all
     /// claimants to finish, then propagate the first captured panic.
     fn run_job(&self, f: &(dyn Fn() + Sync)) {
+        let _job_sp = le_obs::span!("le_pool.job");
+        le_obs::counter!("le_pool.jobs").inc();
         {
             let mut st = relock(self.shared.state.lock());
             st.job = Some(erase(f));
+            st.posted = Some(le_obs::Stopwatch::start());
             st.epoch = st.epoch.wrapping_add(1);
             st.panic = None;
             self.shared.work_cv.notify_all();
@@ -304,6 +328,7 @@ impl Pool {
             if i >= n_tasks {
                 break;
             }
+            le_obs::counter!("le_pool.tasks_claimed").inc();
             f(i);
         };
         self.run_job(&body);

@@ -42,9 +42,27 @@ pub struct Metrics {
     pub utilization: f64,
 }
 
+/// Bucket upper bounds (simulated time units) for the per-class latency
+/// histograms exported through `le-obs`. Latencies are simulated-time
+/// quantities, so the bucket counts are fully deterministic.
+const LATENCY_BOUNDS: [f64; 7] = [1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0];
+
 impl Metrics {
-    /// Build from raw records.
+    /// Build from raw records. As a side effect, every completion's sojourn
+    /// time is recorded into the global `le-obs` histograms
+    /// `sched.latency.learnt` / `sched.latency.unlearnt`, and
+    /// `sched.completions` is incremented per task.
     pub fn from_completions(completions: Vec<Completion>, busy: &[f64], makespan: f64) -> Self {
+        let learnt = le_obs::global().histogram("sched.latency.learnt", &LATENCY_BOUNDS);
+        let unlearnt = le_obs::global().histogram("sched.latency.unlearnt", &LATENCY_BOUNDS);
+        let completed = le_obs::global().counter("sched.completions");
+        for c in &completions {
+            match c.class {
+                TaskClass::Learnt => learnt.record(c.latency()),
+                TaskClass::Unlearnt => unlearnt.record(c.latency()),
+            }
+            completed.inc();
+        }
         let total_busy: f64 = busy.iter().sum();
         let utilization = if makespan > 0.0 && !busy.is_empty() {
             total_busy / (makespan * busy.len() as f64)

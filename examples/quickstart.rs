@@ -70,4 +70,11 @@ fn main() {
         "direct measured speedup vs all-simulation: {:.1}x",
         engine.accounting().direct_speedup().expect("ran")
     );
+
+    // 5. Every phase above was recorded through le-obs spans — the same
+    //    measurements the accounting consumed. Export the snapshot.
+    match le_obs::write_snapshot("quickstart") {
+        Ok(path) => println!("observability snapshot: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write OBS snapshot: {e}"),
+    }
 }

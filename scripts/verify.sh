@@ -14,13 +14,24 @@ cargo test -q --offline --workspace
 echo "==> cargo run -p le-lint -- check"
 cargo run -q -p le-lint --offline -- check
 
+# Golden trajectories must reproduce bit-identically under a serial pool
+# and the machine-default worker count: the committed hashes in
+# tests/golden_trajectories.rs pin both the numerics and the pool's
+# deterministic chunking.
+echo "==> golden trajectories (LE_POOL_THREADS=1 and default)"
+LE_POOL_THREADS=1 cargo test -q --offline --test golden_trajectories
+cargo test -q --offline --test golden_trajectories
+
 # Bench smoke: one timed sample through the two pool-parallelized hot paths
 # (cell-list neighbor search, NN potential). --json exercises the
-# results/BENCH_*.json writer end to end; a sanity grep confirms it wrote.
+# results/BENCH_*.json writer end to end; a sanity grep confirms it wrote,
+# and each json bench must also have exported its OBS metrics snapshot.
 echo "==> cargo bench smoke (celllist, nn_potential; 1 sample, json)"
 cargo bench -q --offline -p le-bench --bench celllist -- --samples 1 --json
 cargo bench -q --offline -p le-bench --bench nn_potential -- --samples 1 --json
 grep -q '"bench": "celllist"' results/BENCH_celllist.json
 grep -q '"bench": "nn_potential"' results/BENCH_nn_potential.json
+grep -q '"spans"' results/OBS_bench_celllist.json
+grep -q '"spans"' results/OBS_bench_nn_potential.json
 
 echo "verify: OK"

@@ -187,6 +187,46 @@ fn control_campaign_aborts_on_simulator_failure() {
 }
 
 #[test]
+fn failing_simulator_still_exports_valid_obs_snapshot() {
+    // The observability layer must survive error paths untouched: failed
+    // simulations increment `hybrid.sim_errors`, leave no phantom span
+    // records, and the registry stays exportable (no poison, no panic).
+    let errors_before = le_obs::snapshot().counter("hybrid.sim_errors").unwrap_or(0);
+    let mut engine = HybridEngine::new(
+        FlakySimulator { fail_above: -2.0 }, // always fails
+        HybridConfig {
+            min_training_runs: 4,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let n_failures = 12;
+    for i in 0..n_failures {
+        let x = [0.1 * i as f64, 0.0];
+        assert!(engine.query(&x).is_err(), "every query must fail");
+    }
+
+    let snap = le_obs::snapshot();
+    let errors_after = snap.counter("hybrid.sim_errors").unwrap_or(0);
+    assert!(
+        errors_after >= errors_before + n_failures,
+        "each failed simulation must be counted ({errors_before} -> {errors_after})"
+    );
+    // Failed runs record nothing in accounting, so the simulate span (one
+    // record per *successful* simulation, process-wide) cannot exceed the
+    // successes other tests in this binary produced; our 12 failures add 0.
+    assert_eq!(engine.accounting().n_train(), 0);
+
+    // The registry still snapshots and the export parses as JSON.
+    let path = le_obs::write_snapshot("failure_injection").expect("snapshot after errors");
+    let body = std::fs::read_to_string(&path).expect("snapshot readable");
+    let doc = le_bench::json::parse(&body).expect("valid JSON after failure paths");
+    assert!(doc.get("counters").is_some());
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("txt"));
+}
+
+#[test]
 fn hostile_configurations_rejected_up_front() {
     let sim = SyntheticSimulator::new(2, 1, 0, 0.0);
     // NaN threshold.

@@ -1,0 +1,136 @@
+//! Golden-trajectory regression tests: bit-exact hashes of seeded kernel
+//! runs, committed as constants. Any change to the MD integrator, force
+//! loop, cell list, pool chunking, or the SEIR dynamics that perturbs a
+//! single bit of output fails here — including nondeterminism introduced
+//! by the worker pool, because `scripts/verify.sh` runs this suite at
+//! `LE_POOL_THREADS=1` *and* the machine default and both must reproduce
+//! the same committed hash.
+//!
+//! To re-baseline after an *intentional* numerical change, run with
+//! `--nocapture` and copy the printed hashes.
+
+use le_mdsim::forces::ForceField;
+use le_mdsim::integrate::{run, Integrator};
+use le_mdsim::system::{SlabBox, Species, System};
+use le_netdyn::seir::{simulate, SeirConfig};
+use le_netdyn::{Population, PopulationConfig};
+use le_linalg::Rng;
+
+/// FNV-1a over a stream of 64-bit words (little-endian byte order). Stable,
+/// dependency-free, and sensitive to every bit of every f64 fed in.
+fn fnv1a<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn f64_bits<'a, I: IntoIterator<Item = &'a f64>>(vals: I) -> impl Iterator<Item = u64> {
+    vals.into_iter().map(|v| v.to_bits()).collect::<Vec<_>>().into_iter()
+}
+
+/// 200 Langevin (BAOAB) steps of a 48-ion slab system, seeded; hash of the
+/// final positions + velocities and every sampled energy.
+fn md_trajectory_hash() -> u64 {
+    let bbox = SlabBox::new(4.0, 4.0, 3.0).expect("valid box");
+    let mut sys = System::new(bbox);
+    let mut rng = Rng::new(42);
+    sys.insert_species(
+        Species { valency: 1, diameter: 0.5, mass: 1.0 },
+        24,
+        1.0,
+        &mut rng,
+    )
+    .expect("cations fit");
+    sys.insert_species(
+        Species { valency: -1, diameter: 0.5, mass: 1.0 },
+        24,
+        1.0,
+        &mut rng,
+    )
+    .expect("anions fit");
+    sys.zero_momentum();
+
+    let ff = ForceField { kappa: 1.0, wall_sigma: 0.25, ..Default::default() };
+    let dt = 0.002;
+    let integ = Integrator {
+        dt,
+        gamma: 2.0,
+        temperature: 1.0,
+        // Insertion overlaps relax under a speed limit instead of
+        // detonating (the same idiom NanoSim uses for equilibration).
+        max_speed: 0.02 / dt,
+        max_ke_per_particle: f64::INFINITY,
+        ..Default::default()
+    };
+    let traj = run(&mut sys, &ff, &integ, 200, 20, &mut rng, |_, _| {}).expect("stable run");
+
+    let mut words: Vec<u64> = Vec::new();
+    for p in &sys.pos {
+        words.extend(p.iter().map(|v| v.to_bits()));
+    }
+    for v in &sys.vel {
+        words.extend(v.iter().map(|x| x.to_bits()));
+    }
+    words.extend(f64_bits(&traj.potential));
+    words.extend(f64_bits(&traj.kinetic));
+    words.extend(f64_bits(&traj.temperature));
+    fnv1a(words)
+}
+
+/// One seeded stochastic SEIR realization on a 4-county block-model
+/// population; hash of the full county-by-day incidence plus the summary
+/// statistics.
+fn epidemic_curve_hash() -> u64 {
+    let pop = Population::generate(&PopulationConfig::uniform(4, 250), 7).expect("population");
+    let out = simulate(&pop, &SeirConfig::default(), 11).expect("epidemic");
+    let mut words: Vec<u64> = Vec::new();
+    for county in &out.incidence {
+        words.extend(f64_bits(county));
+    }
+    words.push(out.attack_rate.to_bits());
+    words.push(out.peak_day as u64);
+    fnv1a(words)
+}
+
+/// Committed baseline: 200-step nanoconfinement-style MD trajectory.
+const GOLDEN_MD_HASH: u64 = 0x0987_f3ad_7767_956c;
+
+/// Committed baseline: seeded SEIR epidemic curve.
+const GOLDEN_EPIDEMIC_HASH: u64 = 0x65d2_c945_05f1_c856;
+
+#[test]
+fn md_trajectory_matches_golden_hash() {
+    let h = md_trajectory_hash();
+    println!("md trajectory hash: {h:#018x}");
+    assert_eq!(
+        h, GOLDEN_MD_HASH,
+        "MD trajectory diverged from the committed baseline (got {h:#018x}); \
+         if the numerical change is intentional, re-baseline GOLDEN_MD_HASH"
+    );
+}
+
+#[test]
+fn md_trajectory_hash_is_reproducible_in_process() {
+    assert_eq!(md_trajectory_hash(), md_trajectory_hash());
+}
+
+#[test]
+fn epidemic_curve_matches_golden_hash() {
+    let h = epidemic_curve_hash();
+    println!("epidemic curve hash: {h:#018x}");
+    assert_eq!(
+        h, GOLDEN_EPIDEMIC_HASH,
+        "SEIR epidemic curve diverged from the committed baseline (got {h:#018x}); \
+         if the change is intentional, re-baseline GOLDEN_EPIDEMIC_HASH"
+    );
+}
+
+#[test]
+fn epidemic_curve_hash_is_reproducible_in_process() {
+    assert_eq!(epidemic_curve_hash(), epidemic_curve_hash());
+}
