@@ -8,6 +8,9 @@ use le_perfmodel::scaling::{crossover_ratio, sweep_ratio};
 use le_perfmodel::speedup::{lookup_limit, no_ml_limit, SpeedupTimes};
 
 fn main() {
+    // Every phase below lands in the causal event journal; the exports at
+    // the end make the run inspectable with `obsctl timeline` / Perfetto.
+    let trace_root = le_obs::trace_root!("e1.effective_speedup");
     // Measure the characteristic times with the real substrate.
     let (params, outputs) = nano_dataset(48, BENCH_SEED);
     let sim = le_mdsim::NanoSim::new(le_mdsim::SimConfig::fast());
@@ -71,4 +74,12 @@ fn main() {
         "\nshape check: S(1e-2) = {first:.2} ≈ no-ML limit; S(1e6) = {last:.3e} → {:.0}% of the asymptote",
         100.0 * last / asym
     );
+
+    drop(trace_root); // close the root so the exported journal is balanced
+    for res in [le_obs::write_snapshot("e1"), le_obs::write_trace("e1")] {
+        match res {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("warning: observability export failed: {e}"),
+        }
+    }
 }

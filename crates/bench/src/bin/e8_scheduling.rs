@@ -5,6 +5,10 @@ use le_bench::{md_row, BENCH_SEED};
 use le_sched::{simulate, Policy, TaskClass, Workload, WorkloadConfig};
 
 fn main() {
+    // Each DES run below emits a `sched.simulate` span plus per-task
+    // start/complete instants; the exports at the end make the sweep
+    // inspectable with `obsctl timeline` / Perfetto.
+    let trace_root = le_obs::trace_root!("e8.scheduling");
     let policies = [
         Policy::SingleQueue,
         Policy::DedicatedSplit { learnt_workers: 1 },
@@ -72,4 +76,12 @@ fn main() {
          (dedicated-split) collapses learnt-task latency by orders of magnitude \
          at equal makespan; a single FIFO queue suffers head-of-line blocking."
     );
+
+    drop(trace_root); // close the root so the exported journal is balanced
+    for res in [le_obs::write_snapshot("e8"), le_obs::write_trace("e8")] {
+        match res {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("warning: observability export failed: {e}"),
+        }
+    }
 }

@@ -1,0 +1,115 @@
+//! Deterministic observability baseline for the `obsctl diff` gate.
+//!
+//! Replays a fixed three-phase campaign — a short MD run, a hybrid-engine
+//! query loop whose simulator fans out onto `le-pool`, and two DES
+//! scheduling runs — then exports `results/OBS_baseline.json` (counters,
+//! spans, histograms) and `results/TRACE_baseline.json` (the causal event
+//! journal, Chrome `trace_event` format).
+//!
+//! `scripts/verify.sh` runs this binary with `LE_POOL_THREADS=4` pinned and
+//! diffs the fresh snapshot against the committed copy under
+//! `results/baselines/`: counter values and span counts are exact replicas
+//! of the committed baseline whenever the workload, the pool decomposition,
+//! and the numerics are unchanged, so any silent drift in those trips the
+//! gate. (Schedule-dependent worker metrics are excluded with `--ignore`;
+//! span *timings* are gated only by a generous one-sided tolerance.)
+//!
+//! ```sh
+//! LE_POOL_THREADS=4 cargo run --release -p le-bench --bin obs_baseline
+//! ```
+
+use le_bench::BENCH_SEED;
+use le_mdsim::nanoconfinement::NanoParams;
+use le_mdsim::{NanoSim, SimConfig};
+use le_sched::{simulate, Policy, Workload, WorkloadConfig};
+use learning_everywhere::surrogate::SurrogateConfig;
+use learning_everywhere::{HybridConfig, HybridEngine, Simulator};
+
+/// A simulator whose "physics" is a 64-wide parallel map: every query that
+/// simulates provably dispatches `pool.task` spans carrying its trace id.
+struct FanoutSimulator;
+
+impl Simulator for FanoutSimulator {
+    fn input_dim(&self) -> usize {
+        2
+    }
+    fn output_dim(&self) -> usize {
+        1
+    }
+    fn simulate(&self, input: &[f64], seed: u64) -> learning_everywhere::Result<Vec<f64>> {
+        let parts = le_pool::par_map_index(64, |i| {
+            let x = input[0] + input[1] * (i as f64 + seed as f64 * 1e-6);
+            (x * 0.01).sin()
+        });
+        Ok(vec![parts.iter().sum::<f64>() / 64.0])
+    }
+}
+
+fn main() {
+    // Phase 1: a short MD trajectory (trimmed preset so the whole campaign
+    // fits the default trace ring with zero drops).
+    let sim = NanoSim::new(SimConfig {
+        equil_steps: 50,
+        prod_steps: 150,
+        ..SimConfig::fast()
+    });
+    let probe = NanoParams {
+        h: 3.0,
+        z_p: 1,
+        z_n: 1,
+        c: 0.5,
+        d: 0.6,
+    };
+    let (obs, _) = sim.run(&probe, BENCH_SEED).expect("probe params are valid");
+    println!("md: contact density {:.4}", obs.contact);
+
+    // Phase 2: a hybrid-engine campaign over the fan-out simulator.
+    let mut engine = HybridEngine::new(
+        FanoutSimulator,
+        HybridConfig {
+            uncertainty_threshold: 0.3,
+            min_training_runs: 8,
+            retrain_growth: 2.0,
+            surrogate: SurrogateConfig {
+                hidden: vec![16],
+                epochs: 10,
+                mc_samples: 8,
+                seed: 3,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("valid config");
+    for q in 0..24 {
+        let x = [0.05 * q as f64, 0.2];
+        engine.query(&x).expect("query succeeds");
+    }
+    println!("hybrid: lookup fraction {:.2}", engine.lookup_fraction());
+
+    // Phase 3: the mixed learnt/unlearnt workload under two DES policies.
+    let workload = Workload::generate(
+        &WorkloadConfig {
+            n_tasks: 1200,
+            mean_interarrival: 0.35,
+            sim_service: 8.0,
+            learnt_speedup: 1e5,
+            learnt_fraction_start: 0.6,
+            learnt_fraction_end: 0.6,
+        },
+        BENCH_SEED,
+    )
+    .expect("valid workload");
+    for policy in [Policy::SingleQueue, Policy::WorkStealing] {
+        let m = simulate(&workload, 8, policy).expect("runs");
+        println!("sched: {} makespan {:.1}s", policy.name(), m.makespan);
+    }
+
+    match le_obs::write_snapshot("baseline") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write OBS snapshot: {e}"),
+    }
+    match le_obs::write_trace("baseline") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write trace: {e}"),
+    }
+}

@@ -167,11 +167,16 @@ impl<S: Simulator> HybridEngine<S> {
                 input.len()
             )));
         }
+        // Each query is one causal trace: every phase span below — and
+        // every pool task the simulator or trainer dispatches — carries
+        // this root's trace_id (see le-obs's trace module).
+        let _trace = le_obs::trace_root!("hybrid.query");
         // Gate on the surrogate's uncertainty. The span records only when
         // the gate admits the query, mirroring the accounting: a rejected
         // prediction's cost belongs to the simulation that follows.
         let mut gate_std = None;
         if let Some(surrogate) = self.surrogate.as_mut() {
+            let _t = le_obs::trace_span!("hybrid.lookup");
             let sp = le_obs::timed_span!("hybrid.lookup");
             let pred = surrogate.predict_with_uncertainty(input)?;
             let std = pred.max_std();
@@ -190,6 +195,7 @@ impl<S: Simulator> HybridEngine<S> {
         // Simulate; no run is wasted. A failing simulator drops the span
         // unrecorded (accounting records nothing either) and bumps the
         // error counter instead.
+        let trace_sp = le_obs::trace_span!("hybrid.simulate");
         let sp = le_obs::timed_span!("hybrid.simulate");
         self.seed_counter += 1;
         let output = self
@@ -200,6 +206,9 @@ impl<S: Simulator> HybridEngine<S> {
                 LeError::Simulation(e.to_string())
             })?;
         self.accounting.record_training_sim(sp.finish_secs());
+        // Close the simulate trace span here so a retrain triggered below
+        // appears as a sibling phase of the query, not a child of the sim.
+        drop(trace_sp);
         self.n_simulations += 1;
         le_obs::counter!("hybrid.simulations").inc();
         self.buffer_x.push(input.to_vec());
@@ -266,6 +275,7 @@ impl<S: Simulator> HybridEngine<S> {
             x.row_mut(i).copy_from_slice(&self.buffer_x[i]);
             y.row_mut(i).copy_from_slice(&self.buffer_y[i]);
         }
+        let _t = le_obs::trace_span!("hybrid.retrain");
         let sp = le_obs::timed_span!("hybrid.retrain");
         let surrogate = NnSurrogate::fit(&x, &y, &self.config.surrogate)?;
         self.accounting.record_learning(sp.finish_secs());

@@ -31,8 +31,17 @@
 //!   calibration loop (`le-bench`'s `timing.rs`). All timing flows through
 //!   `le_obs` spans/`Stopwatch`, so telemetry and accounting cannot
 //!   disagree. This rule has **no** `lint:allow` escape.
+//! * **L7 `trace-hygiene`** — outside `le-obs` itself, the trace journal
+//!   may only be driven through the guard macros (`trace_root!`,
+//!   `trace_span!`, `trace_instant!`, `TraceCtx::adopt`). Direct calls to
+//!   the journal backends (`trace::enter_span`, `trace::mark`,
+//!   `trace::intern_name`, `trace::set_enabled`, `trace::reset`) or to
+//!   `global().set_enabled` would bypass per-call-site name caching and
+//!   could desynchronize the causal structure the canonical timeline and
+//!   `obsctl diff` rely on. Like L6, this rule has **no** `lint:allow`
+//!   escape.
 //!
-//! Any finding except L6 can be suppressed for one line with a trailing
+//! Any finding except L6/L7 can be suppressed for one line with a trailing
 //! `// lint:allow(<rule>)` comment (a justification after a `:` is
 //! encouraged: `// lint:allow(no-panic): length checked above`).
 
@@ -47,7 +56,7 @@ pub mod workspace;
 
 pub use workspace::{check_workspace, Report};
 
-/// The six workspace lint rules.
+/// The seven workspace lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// L1: only in-tree dependencies in any manifest.
@@ -63,17 +72,21 @@ pub enum Rule {
     /// L6: raw wall-clock reads only inside `le-obs` and the bench
     /// harness's calibration loop.
     WallClock,
+    /// L7: trace-journal mutation only through the `le-obs` guard macros
+    /// outside the observability crate itself.
+    TraceHygiene,
 }
 
 impl Rule {
-    /// All rules, in L1..L6 order.
-    pub const ALL: [Rule; 6] = [
+    /// All rules, in L1..L7 order.
+    pub const ALL: [Rule; 7] = [
         Rule::Hermeticity,
         Rule::NoPanic,
         Rule::FloatHygiene,
         Rule::Determinism,
         Rule::LintHeaders,
         Rule::WallClock,
+        Rule::TraceHygiene,
     ];
 
     /// The stable rule name used in diagnostics and `lint:allow(...)`.
@@ -85,6 +98,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::LintHeaders => "lint-headers",
             Rule::WallClock => "wallclock",
+            Rule::TraceHygiene => "trace-hygiene",
         }
     }
 }
@@ -193,7 +207,8 @@ mod tests {
                 "float-hygiene",
                 "determinism",
                 "lint-headers",
-                "wallclock"
+                "wallclock",
+                "trace-hygiene"
             ]
         );
     }

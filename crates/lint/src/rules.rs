@@ -1,4 +1,4 @@
-//! The source-level rule matchers (L2, L3, L4, L5, L6).
+//! The source-level rule matchers (L2, L3, L4, L5, L6, L7).
 //!
 //! Each matcher takes scanned lines (see [`crate::scanner`]) and returns
 //! findings as `(line_number, message)` pairs; the workspace driver
@@ -50,6 +50,35 @@ pub fn check_wallclock(lines: &[Line]) -> Vec<(usize, String)> {
             continue;
         }
         for (pat, msg) in &WALLCLOCK_PATTERNS {
+            if line.code.contains(pat) {
+                out.push((idx + 1, (*msg).to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// L7: direct trace-journal mutation anywhere outside `le-obs`.
+const TRACE_HYGIENE_PATTERNS: [(&str, &str); 6] = [
+    ("trace::enter_span(", "raw `trace::enter_span` outside `le-obs` — use `le_obs::trace_root!` / `le_obs::trace_span!` so the interned name id is cached per call site"),
+    ("trace::mark(", "raw `trace::mark` outside `le-obs` — use `le_obs::trace_instant!`"),
+    ("trace::intern_name(", "raw `trace::intern_name` outside `le-obs` — the guard macros intern and cache names themselves"),
+    ("trace::set_enabled", "`trace::set_enabled` outside `le-obs` — library code must not flip journaling; the `LE_OBS` gate and test/bench binaries own that decision"),
+    ("trace::reset", "`trace::reset` outside `le-obs` — clearing the journal from library code would truncate the causal record mid-run"),
+    ("global().set_enabled", "`global().set_enabled` outside `le-obs` — library code must not flip recording; the `LE_OBS` gate and test/bench binaries own that decision"),
+];
+
+/// Check L7 over scanned lines. Like L6 this rule has **no** `lint:allow`
+/// escape: the allowlist is structural (the `le-obs` crate itself),
+/// enforced by the workspace driver. `#[cfg(test)]` modules remain exempt —
+/// tests may drive the journal directly.
+pub fn check_trace_hygiene(lines: &[Line]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (pat, msg) in &TRACE_HYGIENE_PATTERNS {
             if line.code.contains(pat) {
                 out.push((idx + 1, (*msg).to_string()));
             }
@@ -335,6 +364,44 @@ mod tests {
     fn wallclock_exempts_cfg_test_modules() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}";
         assert!(check_wallclock(&scan(src)).is_empty());
+    }
+
+    #[test]
+    fn trace_hygiene_fires_and_has_no_allow_escape() {
+        for snippet in [
+            "let g = le_obs::trace::enter_span(id, true);",
+            "le_obs::trace::mark(id);",
+            "let id = le_obs::trace::intern_name(\"x\");",
+            "le_obs::trace::set_enabled(false);",
+            "le_obs::trace::reset();",
+            "le_obs::global().set_enabled(false);",
+            "trace::reset(); // lint:allow(trace-hygiene): no such escape",
+        ] {
+            let hits = check_trace_hygiene(&scan(snippet));
+            assert_eq!(hits.len(), 1, "expected one hit for {snippet}");
+        }
+    }
+
+    #[test]
+    fn trace_hygiene_negative_cases() {
+        for snippet in [
+            "let _t = le_obs::trace_span!(\"hybrid.simulate\");",
+            "let _t = le_obs::trace_root!(\"hybrid.query\");",
+            "le_obs::trace_instant!(\"sched.task.complete\");",
+            "let ctx = le_obs::trace::current_ctx();",
+            "let _g = ctx.adopt();",
+            "// a comment about trace::reset",
+            "let s = \"trace::set_enabled\";",
+        ] {
+            let hits = check_trace_hygiene(&scan(snippet));
+            assert!(hits.is_empty(), "false positive on {snippet}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn trace_hygiene_exempts_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { le_obs::trace::reset(); }\n}";
+        assert!(check_trace_hygiene(&scan(src)).is_empty());
     }
 
     #[test]

@@ -84,7 +84,7 @@ struct Member {
     src: PathBuf,
 }
 
-/// Run all six rules over the workspace rooted at `root`.
+/// Run all seven rules over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
     let members = locate_members(root)?;
     let names: BTreeSet<String> = members.iter().map(|m| m.name.clone()).collect();
@@ -107,7 +107,7 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
             });
         }
 
-        // L2–L6 over the crate's sources.
+        // L2–L7 over the crate's sources.
         let is_sim = SIM_KERNEL_CRATES.contains(&member.name.as_str());
         let is_clock_authority = member.name == WALLCLOCK_AUTHORITY_CRATE;
         let root_file = member.src.join("lib.rs");
@@ -152,6 +152,18 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
                             file: file.clone(),
                             line,
                             rule: Rule::WallClock,
+                            message,
+                        });
+                    }
+                }
+                // L7: `le-obs` is the trace authority too — only its own
+                // sources may touch the journal backends directly.
+                if !is_clock_authority {
+                    for (line, message) in rules::check_trace_hygiene(&lines) {
+                        report.violations.push(Violation {
+                            file: file.clone(),
+                            line,
+                            rule: Rule::TraceHygiene,
                             message,
                         });
                     }

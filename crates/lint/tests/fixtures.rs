@@ -84,6 +84,21 @@ fn wallclock_fixture_flags_clock_read_despite_allow_comment() {
 }
 
 #[test]
+fn trace_hygiene_fixture_flags_raw_backends_despite_allow_comment() {
+    let report = check_workspace(&fixture("trace_hygiene")).expect("scan");
+    let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+    // Three raw backend calls in the non-test body; the guard-macro calls
+    // and the `#[cfg(test)]` reset must stay silent.
+    assert_eq!(
+        rules,
+        [Rule::TraceHygiene, Rule::TraceHygiene, Rule::TraceHygiene],
+        "{}",
+        report.to_text()
+    );
+    assert!(report.violations[0].message.contains("le-obs"));
+}
+
+#[test]
 fn lint_headers_fixture_flags_missing_headers() {
     let report = check_workspace(&fixture("lint_headers")).expect("scan");
     let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
@@ -120,6 +135,7 @@ fn cli_exit_codes() {
         "determinism",
         "lint_headers",
         "wallclock",
+        "trace_hygiene",
     ] {
         let out = Command::new(bin)
             .args(["check", "--root"])

@@ -126,6 +126,9 @@ pub fn run(
 
     for step in 0..n_steps {
         let _step_sp = le_obs::span!("mdsim.step");
+        // One causal trace span per step: pool tasks dispatched by the
+        // force kernel below inherit this span's trace_id.
+        let _step_tr = le_obs::trace_span!("mdsim.step");
         {
             // B-A-O-A half of the BAOAB splitting, timed as "integrate".
             let _sp = le_obs::span!("mdsim.integrate");

@@ -1,0 +1,180 @@
+//! `obsctl` — render and gate observability artifacts.
+//!
+//! ```text
+//! obsctl summary <OBS_*.json | BENCH_*.json>...
+//! obsctl timeline <TRACE_*.json>...
+//! obsctl diff [--baseline DIR] [--current DIR] [--tolerance PCT]
+//!             [--floor-ns N] [--ignore SUBSTR]...
+//! ```
+//!
+//! `summary` pretty-prints snapshot / bench documents. `timeline` rebuilds
+//! the canonical (order-normalized) timeline from an exported Chrome
+//! trace. `diff` compares every `OBS_*.json` / `BENCH_*.json` baseline
+//! against the current run artifacts and exits nonzero on regression —
+//! `scripts/verify.sh` runs it as a tier-1 gate.
+//!
+//! Exit codes: 0 clean, 1 regression found, 2 usage or IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use le_obs::diff::{diff_dirs, parse_bench_medians, parse_obs_snapshot, DiffOptions};
+use le_obs::json::{self, Value};
+use le_obs::trace::{EventKind, TraceEvent, TraceSnapshot};
+
+/// The workspace `results/` directory, resolved at compile time so obsctl
+/// works from any working directory.
+fn results_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  obsctl summary <OBS_*.json | BENCH_*.json>...\n  \
+         obsctl timeline <TRACE_*.json>...\n  \
+         obsctl diff [--baseline DIR] [--current DIR] [--tolerance PCT] \
+         [--floor-ns N] [--ignore SUBSTR]..."
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("obsctl: cannot read {}: {e}", path.display()))?;
+    json::parse(&body).ok_or_else(|| format!("obsctl: {} is not valid JSON", path.display()))
+}
+
+/// Render an OBS or BENCH document (shape is sniffed from the fields).
+fn summary(path: &Path) -> Result<(), String> {
+    let doc = load(path)?;
+    if let Some(snap) = parse_obs_snapshot(&doc) {
+        let run = doc.get("run").and_then(|r| r.as_str()).unwrap_or("?");
+        print!("{}", snap.to_text(run));
+        return Ok(());
+    }
+    if let Some(entries) = parse_bench_medians(&doc) {
+        let name = doc.get("bench").and_then(|b| b.as_str()).unwrap_or("?");
+        let samples = doc.get("samples").and_then(|s| s.as_f64()).unwrap_or(0.0);
+        println!("BENCH {name} ({samples} samples)");
+        for (entry, median) in entries {
+            println!("  {entry:<40} median={median:.3e}s");
+        }
+        return Ok(());
+    }
+    Err(format!(
+        "obsctl: {} is neither an OBS snapshot nor a BENCH document",
+        path.display()
+    ))
+}
+
+/// Rebuild a [`TraceSnapshot`] from an exported Chrome `trace_event` JSON
+/// document and render its canonical timeline.
+fn timeline(path: &Path) -> Result<(), String> {
+    let doc = load(path)?;
+    let raw = doc
+        .get("traceEvents")
+        .and_then(|t| t.as_arr())
+        .ok_or_else(|| format!("obsctl: {} has no traceEvents array", path.display()))?;
+    let mut events = Vec::with_capacity(raw.len());
+    for e in raw {
+        let kind = match e.get("ph").and_then(|p| p.as_str()) {
+            Some("B") => EventKind::Begin,
+            Some("E") => EventKind::End,
+            Some("i") => EventKind::Mark,
+            _ => continue, // metadata rows from other tools
+        };
+        let f = |key: &str| e.get("args").and_then(|a| a.get(key)).and_then(|v| v.as_f64());
+        events.push(TraceEvent {
+            kind,
+            name: e
+                .get("name")
+                .and_then(|n| n.as_str())
+                .unwrap_or("?")
+                .to_string(),
+            ts_ns: (e.get("ts").and_then(|t| t.as_f64()).unwrap_or(0.0) * 1_000.0).round()
+                as u64,
+            tid: e.get("tid").and_then(|t| t.as_f64()).unwrap_or(0.0) as u64,
+            trace_id: f("trace_id").unwrap_or(0.0) as u64,
+            span_id: f("span_id").unwrap_or(0.0) as u64,
+            parent_span_id: f("parent_span_id").unwrap_or(0.0) as u64,
+        });
+    }
+    let snap = TraceSnapshot {
+        events,
+        dropped: doc
+            .get("otherData")
+            .and_then(|o| o.get("dropped"))
+            .and_then(|d| d.as_f64())
+            .unwrap_or(0.0) as u64,
+    };
+    let run = doc
+        .get("otherData")
+        .and_then(|o| o.get("run"))
+        .and_then(|r| r.as_str())
+        .unwrap_or("?");
+    print!("{}", snap.to_canonical_text(run));
+    Ok(())
+}
+
+fn diff(args: &[String]) -> Result<bool, String> {
+    let mut baseline: PathBuf = results_dir().join("baselines");
+    let mut current: PathBuf = results_dir().to_path_buf();
+    let mut opts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("obsctl: {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = PathBuf::from(take("--baseline")?),
+            "--current" => current = PathBuf::from(take("--current")?),
+            "--tolerance" => {
+                opts.tolerance_pct = take("--tolerance")?
+                    .parse::<f64>()
+                    .map_err(|_| "obsctl: --tolerance wants a number (percent)".to_string())?;
+            }
+            "--floor-ns" => {
+                opts.floor_ns = take("--floor-ns")?
+                    .parse::<u64>()
+                    .map_err(|_| "obsctl: --floor-ns wants an integer".to_string())?;
+            }
+            "--ignore" => opts.ignore.push(take("--ignore")?),
+            other => return Err(format!("obsctl: unknown diff flag `{other}`")),
+        }
+    }
+    let report = diff_dirs(&baseline, &current, &opts)
+        .map_err(|e| format!("obsctl: diff failed: {e}"))?;
+    print!("{}", report.to_text());
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "summary" | "timeline" if rest.is_empty() => usage(),
+        "summary" | "timeline" => {
+            let render = if cmd == "summary" { summary } else { timeline };
+            for path in rest {
+                if let Err(e) = render(Path::new(path)) {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "diff" => match diff(rest) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(1),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => usage(),
+    }
+}

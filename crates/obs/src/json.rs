@@ -1,10 +1,13 @@
 //! A minimal JSON reader for the workspace's own artifacts.
 //!
-//! The harness writes `BENCH_*.json` and `le-obs` writes `OBS_*.json`;
-//! this module parses them back so tests can round-trip the documents
-//! without an external JSON dependency. It accepts standard JSON (objects,
-//! arrays, strings with the common escapes, numbers, booleans, null) —
-//! enough for any document this workspace produces.
+//! The harness writes `BENCH_*.json`, `le-obs` writes `OBS_*.json` and
+//! `TRACE_*.json`; this module parses them back so tests and the `obsctl`
+//! regression gate can round-trip the documents without an external JSON
+//! dependency. It accepts standard JSON (objects, arrays, strings with the
+//! common escapes, numbers, booleans, null) — enough for any document this
+//! workspace produces. It lives in `le-obs` (the lowest layer) so both the
+//! bench harness and `obsctl` can share it; `le_bench::json` re-exports it
+//! under the old path.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -239,6 +242,17 @@ mod tests {
     }
 
     #[test]
+    fn parses_every_named_escape_and_unicode() {
+        let v = parse(r#""\"\\\/\n\r\t\b\f\u0041\u00e9\u2713""#).unwrap();
+        assert_eq!(v.as_str(), Some("\"\\/\n\r\t\u{8}\u{c}Aé✓"));
+        // Escapes inside object keys work too.
+        let v = parse(r#"{"a\nb": 1}"#).unwrap();
+        assert_eq!(v.get("a\nb").and_then(Value::as_f64), Some(1.0));
+        // Raw multi-byte UTF-8 passes through unescaped.
+        assert_eq!(parse("\"π≈3\"").unwrap().as_str(), Some("π≈3"));
+    }
+
+    #[test]
     fn parses_nested_structures() {
         let doc = r#"{"a": [1, 2, {"b": "x"}], "c": {"d": null}}"#;
         let v = parse(doc).unwrap();
@@ -249,9 +263,86 @@ mod tests {
     }
 
     #[test]
+    fn parses_deeply_nested_mixed_structures() {
+        let doc = r#"[[[{"k": [{"deep": [0, [1, [2]]]}]}]], {}, []]"#;
+        let v = parse(doc).unwrap();
+        let outer = v.as_arr().unwrap();
+        assert_eq!(outer.len(), 3);
+        let deep = outer[0].as_arr().unwrap()[0].as_arr().unwrap()[0]
+            .get("k")
+            .and_then(Value::as_arr)
+            .unwrap()[0]
+            .get("deep")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(deep[0].as_f64(), Some(0.0));
+        assert_eq!(outer[1], Value::Obj(vec![]));
+        assert_eq!(outer[2], Value::Arr(vec![]));
+        // Object member insertion order is preserved.
+        let v = parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        match v {
+            Value::Obj(ms) => assert_eq!(ms[0].0, "z"),
+            _ => assert!(false, "expected object"),
+        }
+    }
+
+    #[test]
+    fn numeric_edge_cases() {
+        // Negative zero keeps its sign bit.
+        let nz = parse("-0.0").unwrap().as_f64().unwrap();
+        assert_eq!(nz.to_bits(), (-0.0f64).to_bits());
+        // Exponent forms, as the snapshot writer's `{:e}` emits them.
+        assert_eq!(parse("2.5e-3").unwrap().as_f64(), Some(0.0025));
+        assert_eq!(parse("1E+2").unwrap().as_f64(), Some(100.0));
+        assert_eq!(parse("5e0").unwrap().as_f64(), Some(5.0));
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+        // i64::MIN is exactly representable as f64 (−2^63).
+        assert_eq!(
+            parse("-9223372036854775808").unwrap().as_f64(),
+            Some(i64::MIN as f64)
+        );
+        // i64::MAX is not: values round to the nearest f64 — documented
+        // lossiness of the Num(f64) representation.
+        assert_eq!(
+            parse("9223372036854775807").unwrap().as_f64(),
+            Some(9223372036854775807u64 as f64)
+        );
+        // 2^53 + 1 rounds down to 2^53: callers must not rely on exact
+        // integers beyond f64's 53-bit mantissa.
+        assert_eq!(parse("9007199254740993").unwrap().as_f64(), Some(9.007199254740992e15));
+        // Everything the workspace writes (ns counts < 2^53) is exact.
+        assert_eq!(parse("9007199254740992").unwrap().as_usize(), Some(1usize << 53));
+    }
+
+    #[test]
     fn rejects_malformed_documents() {
-        for bad in ["{", "[1,", "{\"a\" 1}", "\"unterminated", "1 2", "{]}"] {
-            assert_eq!(parse(bad), None, "should reject {bad:?}");
+        // One entry per failure class: truncation, missing separators,
+        // bad literals, bad numbers, bad escapes, trailing garbage.
+        let table: &[(&str, &str)] = &[
+            ("", "empty document"),
+            ("{", "unterminated object"),
+            ("[1,", "unterminated array"),
+            ("[1 2]", "missing array comma"),
+            ("{\"a\" 1}", "missing colon"),
+            ("{\"a\":}", "missing member value"),
+            ("{a: 1}", "unquoted key"),
+            ("{]}", "mismatched brackets"),
+            ("\"unterminated", "unterminated string"),
+            ("nul", "truncated null literal"),
+            ("tru", "truncated true literal"),
+            ("falsy", "mangled false literal"),
+            ("+", "sign with no digits"),
+            ("--1", "double sign"),
+            ("1e", "exponent with no digits"),
+            ("1.2.3", "two decimal points"),
+            ("\"\\x\"", "unknown escape"),
+            ("\"\\u12\"", "short unicode escape"),
+            ("\"\\ud800\"", "lone surrogate code point"),
+            ("1 2", "trailing garbage"),
+            ("{} []", "second document"),
+        ];
+        for (bad, why) in table {
+            assert_eq!(parse(bad), None, "should reject {bad:?} ({why})");
         }
     }
 

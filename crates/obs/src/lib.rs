@@ -51,14 +51,29 @@
 //! `results/OBS_<run>.json` (plus a `results/OBS_<run>.txt` text summary)
 //! at the workspace root — next to the `BENCH_*.json` files the timing
 //! harness writes.
+//!
+//! # Causal tracing
+//!
+//! The aggregate instruments above lose *which* call caused which: for
+//! that, the [`trace`] module keeps a per-thread event journal with
+//! `trace_id`/`parent_span_id` causal links ([`trace_root!`],
+//! [`trace_span!`], [`trace_instant!`]), propagated across threads by
+//! `le-pool`, and exported as Chrome `trace_event` JSON
+//! (`results/TRACE_<run>.json`, loadable in Perfetto) plus a
+//! deterministic canonical timeline. The `obsctl` binary in this crate
+//! renders either artifact and gates regressions (`obsctl diff`).
 
+pub mod diff;
+pub mod json;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use registry::{Counter, Gauge, Histogram, Registry, Span};
 pub use snapshot::{CounterSnap, GaugeSnap, HistogramSnap, Snapshot, SpanSnap};
 pub use span::{current_depth, SpanGuard, Stopwatch, TimedSpan};
+pub use trace::write_trace;
 
 use std::sync::OnceLock;
 
@@ -130,6 +145,47 @@ macro_rules! counter {
         static __LE_OBS_COUNTER: ::std::sync::OnceLock<$crate::Counter> =
             ::std::sync::OnceLock::new();
         __LE_OBS_COUNTER.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Open a **root** trace span: a fresh `trace_id` starts here, and every
+/// span/instant recorded below it (on any thread, via `le-pool`'s context
+/// propagation) carries that id. `let _t = le_obs::trace_root!("hybrid.query");`
+///
+/// The interned name id is cached per call site; the guard records a
+/// `Begin` event now and an `End` event on drop. Inert under `LE_OBS=0`.
+#[macro_export]
+macro_rules! trace_root {
+    ($name:expr) => {{
+        static __LE_TRACE_NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+        $crate::trace::enter_span(
+            *__LE_TRACE_NAME.get_or_init(|| $crate::trace::intern_name($name)),
+            true,
+        )
+    }};
+}
+
+/// Open a child trace span under the current thread context (or a new
+/// root if none is open): `let _t = le_obs::trace_span!("hybrid.simulate");`
+/// Records `Begin` now, `End` on drop; inert under `LE_OBS=0`.
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {{
+        static __LE_TRACE_NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+        $crate::trace::enter_span(
+            *__LE_TRACE_NAME.get_or_init(|| $crate::trace::intern_name($name)),
+            false,
+        )
+    }};
+}
+
+/// Record an instant event under the current span:
+/// `le_obs::trace_instant!("sched.task.complete");` Inert under `LE_OBS=0`.
+#[macro_export]
+macro_rules! trace_instant {
+    ($name:expr) => {{
+        static __LE_TRACE_NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+        $crate::trace::mark(*__LE_TRACE_NAME.get_or_init(|| $crate::trace::intern_name($name)))
     }};
 }
 

@@ -263,7 +263,7 @@ fn json_f64(v: f64) -> String {
 
 /// Replace every character outside `[A-Za-z0-9_-]` so a run name cannot
 /// escape the results directory.
-fn sanitize_run(run: &str) -> String {
+pub(crate) fn sanitize_run(run: &str) -> String {
     let cleaned: String = run
         .chars()
         .map(|c| {
@@ -283,7 +283,7 @@ fn sanitize_run(run: &str) -> String {
 
 /// The workspace `results/` directory (compile-time relative to this
 /// crate, so it works from any test or bench working directory).
-fn results_dir() -> &'static Path {
+pub(crate) fn results_dir() -> &'static Path {
     Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
 }
 

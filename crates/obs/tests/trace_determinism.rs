@@ -1,0 +1,68 @@
+//! Journal determinism across thread counts: the same traced workload run
+//! at `threads = 1, 4, 7` must produce the same number of events, the same
+//! causal structure (order-normalized canonical text, byte-identical), and
+//! zero drops — because `le-pool`'s decompositions are pure functions of
+//! the problem size, never of the thread count.
+//!
+//! Single `#[test]` on purpose: the journal is process-global and this
+//! test resets it between runs.
+
+use le_pool::Pool;
+
+/// A small mixed workload exercising every pool helper under trace roots.
+fn workload(pool: &Pool) {
+    for rep in 0..3 {
+        let _root = le_obs::trace_root!("req");
+        let mapped = pool.par_map_index(100, |i| i * 2 + rep);
+        assert_eq!(mapped.len(), 100);
+        let total = pool.par_reduce(50, 8, || 0usize, |i| i, |a, b| a + b);
+        assert_eq!(total, 49 * 50 / 2);
+        pool.par_for_each(10, |_| {});
+        let mut buf = vec![0u8; 40];
+        pool.par_for_chunks(&mut buf, 16, |_, chunk| {
+            for b in chunk.iter_mut() {
+                *b = 1;
+            }
+        });
+        le_obs::trace_instant!("req.done");
+    }
+}
+
+#[test]
+fn canonical_timeline_is_identical_across_thread_counts() {
+    le_obs::trace::set_enabled(true);
+    let mut runs: Vec<(usize, usize, u64, String)> = Vec::new();
+    for threads in [1usize, 4, 7] {
+        le_obs::trace::reset();
+        let pool = Pool::with_threads(threads);
+        workload(&pool);
+        drop(pool); // join workers: the journal is quiescent before snapshot
+        let snap = le_obs::trace::snapshot();
+        runs.push((
+            threads,
+            snap.events.len(),
+            snap.dropped,
+            snap.to_canonical_text("det"),
+        ));
+    }
+    let (_, n0, d0, ref text0) = runs[0];
+    assert!(n0 > 0, "workload must record events");
+    assert_eq!(d0, 0, "workload must fit the ring");
+    // Expected structure per `req` root: 25 map chunks (⌈100/⌈100/32⌉⌉) +
+    // 7 reduce chunks + 10 for_each tasks + 3 for_chunks tasks = 45
+    // `pool.task` spans + the root + one instant.
+    // 3 roots × (46 spans × 2 events + 1 mark).
+    assert_eq!(n0, 3 * (46 * 2 + 1), "decomposition changed — update test");
+    for &(threads, n, dropped, ref text) in &runs[1..] {
+        assert_eq!(n, n0, "event count differs at {threads} threads");
+        assert_eq!(dropped, 0, "drops at {threads} threads");
+        assert_eq!(
+            text, text0,
+            "canonical timeline differs at {threads} threads"
+        );
+    }
+    // And the canonical text really collapses identical siblings.
+    assert!(text0.contains("- req ×3"), "{text0}");
+    assert!(text0.contains("- pool.task ×"), "{text0}");
+    assert!(text0.contains("* req.done"), "{text0}");
+}

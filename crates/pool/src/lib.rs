@@ -42,14 +42,25 @@
 //!   (post-to-claim latency per worker). These describe the *schedule*, so
 //!   they legitimately vary with thread count — unlike metrics recorded by
 //!   the parallel work itself, which merge exactly (see `le-obs`).
+//! * **Causally traced** — every dispatch captures the submitting thread's
+//!   [`le_obs::trace::TraceCtx`] into the job slot; workers adopt it before
+//!   running, so trace events recorded inside pool work carry the
+//!   `trace_id` of the phase that submitted the job. Each helper emits one
+//!   `pool.task` trace span per task of its decomposition, on the inline
+//!   path as well as the pooled one, so the event *structure* of a traced
+//!   run is identical at every thread count (see `le-obs`'s canonical
+//!   timeline).
 //!
 //! # Grain policy
 //!
 //! Dispatch on the persistent pool costs a few microseconds (one mutex
 //! round-trip plus condvar wakeups). Helpers therefore go inline whenever
 //! the decomposition would yield a single chunk, and `par_map_index` splits
-//! work into `threads * 4` chunks so the claiming cursor can load-balance
-//! skew without per-index cursor traffic. Callers with cheap per-index work
+//! work into [`MAP_CHUNKS`] chunks — a fixed number, *not* a function of
+//! the thread count, so the decomposition (and therefore the trace event
+//! structure) is identical at every `LE_POOL_THREADS` while still giving
+//! the claiming cursor slack to load-balance skew without per-index cursor
+//! traffic. Callers with cheap per-index work
 //! choose `grain` (in [`Pool::par_reduce`] / [`Pool::par_for_chunks`]) so a
 //! chunk amortizes ~10µs of work; hot call sites additionally gate on
 //! problem size and fall back to their sequential loop below it.
@@ -77,10 +88,12 @@ type Panic = Box<dyn std::any::Any + Send + 'static>;
 /// erased to `'static` by [`erase`]; see the safety argument there.
 type Job = &'static (dyn Fn() + Sync);
 
-/// Chunks per participating thread in `par_map_index`: enough slack for the
-/// claiming cursor to rebalance skewed chunks, few enough that slot
-/// bookkeeping stays cheap.
-const CHUNKS_PER_THREAD: usize = 4;
+/// Chunk-count target for `par_map_index` (capped by `n`): enough slack for
+/// the claiming cursor to rebalance skewed chunks on any realistic core
+/// count, few enough that slot bookkeeping stays cheap. Deliberately a
+/// constant rather than `threads * k`: the decomposition — and with it the
+/// `pool.task` trace event structure — must not depend on the thread count.
+pub const MAP_CHUNKS: usize = 32;
 
 thread_local! {
     /// True while this thread is executing inside a pool job (worker or
@@ -95,6 +108,9 @@ struct State {
     /// Started when the current job was posted; workers read it at claim
     /// time to record queue wait (`le_pool.queue_wait`).
     posted: Option<le_obs::Stopwatch>,
+    /// The submitting thread's trace context, captured at dispatch; workers
+    /// adopt it so pool work inherits the submitter's `trace_id`.
+    ctx: le_obs::trace::TraceCtx,
     /// Bumped once per dispatch so sleeping workers can tell a fresh job
     /// from one they already ran (or missed).
     epoch: u64,
@@ -174,7 +190,7 @@ fn worker_loop(shared: &Shared) {
         // Sleep until a fresh job is posted (or shutdown). A job that
         // completed before we woke leaves `job == None` at a new epoch;
         // record the epoch and keep sleeping.
-        let job = {
+        let (job, ctx) = {
             let mut st = relock(shared.state.lock());
             loop {
                 if st.shutdown {
@@ -190,7 +206,7 @@ fn worker_loop(shared: &Shared) {
                                 .get_or_init(|| le_obs::global().span("le_pool.queue_wait"))
                                 .record_ns(sw.elapsed_ns());
                         }
-                        break job;
+                        break (job, st.ctx);
                     }
                 }
                 st = relock(shared.work_cv.wait(st));
@@ -200,6 +216,9 @@ fn worker_loop(shared: &Shared) {
         IN_POOL.with(|c| c.set(true));
         let result = {
             let _busy = le_obs::span!("le_pool.worker_busy");
+            // Inherit the submitter's causal coordinates for the duration
+            // of the job, so tasks traced on this thread carry its trace_id.
+            let _ctx = ctx.adopt();
             catch_unwind(AssertUnwindSafe(|| job()))
         };
         IN_POOL.with(|c| c.set(false));
@@ -235,6 +254,7 @@ impl Pool {
             state: Mutex::new(State {
                 job: None,
                 posted: None,
+                ctx: le_obs::trace::TraceCtx::NONE,
                 epoch: 0,
                 active: 0,
                 shutdown: false,
@@ -282,6 +302,7 @@ impl Pool {
             let mut st = relock(self.shared.state.lock());
             st.job = Some(erase(f));
             st.posted = Some(le_obs::Stopwatch::start());
+            st.ctx = le_obs::trace::current_ctx();
             st.epoch = st.epoch.wrapping_add(1);
             st.panic = None;
             self.shared.work_cv.notify_all();
@@ -309,6 +330,9 @@ impl Pool {
     /// Run `f(0), f(1), …, f(n_tasks - 1)`, each exactly once, on whichever
     /// threads claim them first. Order of execution is unspecified — use
     /// the mapping helpers when results must be collected.
+    ///
+    /// Emits one `pool.task` trace span per task on either path, so a
+    /// traced run has the same event structure inline and pooled.
     pub fn par_for_each<F>(&self, n_tasks: usize, f: F)
     where
         F: Fn(usize) + Sync,
@@ -318,6 +342,7 @@ impl Pool {
         }
         if self.inline() || n_tasks == 1 {
             for i in 0..n_tasks {
+                let _t = le_obs::trace_span!("pool.task");
                 f(i);
             }
             return;
@@ -329,6 +354,7 @@ impl Pool {
                 break;
             }
             le_obs::counter!("le_pool.tasks_claimed").inc();
+            let _t = le_obs::trace_span!("pool.task");
             f(i);
         };
         self.run_job(&body);
@@ -364,11 +390,24 @@ impl Pool {
         U: Send,
         F: Fn(usize) -> U + Sync,
     {
-        if self.inline() || n < 2 {
-            return (0..n).map(f).collect();
+        if n == 0 {
+            return Vec::new();
         }
-        let n_chunks = n.min(self.threads * CHUNKS_PER_THREAD);
-        let chunk = n.div_ceil(n_chunks);
+        let chunk = n.div_ceil(n.min(MAP_CHUNKS));
+        // Effective chunk count after rounding the chunk length up — the
+        // same value `chunked_collect` derives on the pooled path.
+        let n_chunks = n.div_ceil(chunk);
+        if self.inline() || n < 2 {
+            // Same chunk decomposition — and the same one-`pool.task`-span-
+            // per-chunk trace structure — as the pooled path below.
+            let mut out = Vec::with_capacity(n);
+            for c in 0..n_chunks {
+                let _t = le_obs::trace_span!("pool.task");
+                let lo = c * chunk;
+                out.extend((lo..(lo + chunk).min(n)).map(&f));
+            }
+            return out;
+        }
         let parts = self.chunked_collect(n, chunk, |lo, hi| (lo..hi).map(&f).collect::<Vec<U>>());
         let mut out = Vec::with_capacity(n);
         for part in parts {
@@ -403,6 +442,9 @@ impl Pool {
         let chunk_len = chunk_len.max(1);
         if self.inline() || n <= chunk_len {
             for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                // One `pool.task` per chunk, matching the pooled path's
+                // per-task span from `par_for_each`.
+                let _t = le_obs::trace_span!("pool.task");
                 f(c * chunk_len, chunk);
             }
             return;
@@ -451,7 +493,11 @@ impl Pool {
         let mut layer: Vec<U> = if self.inline() || n <= grain {
             let n_chunks = n.div_ceil(grain);
             (0..n_chunks)
-                .map(|c| fold_chunk(c * grain, ((c + 1) * grain).min(n)))
+                .map(|c| {
+                    // One `pool.task` per chunk, matching the pooled path.
+                    let _t = le_obs::trace_span!("pool.task");
+                    fold_chunk(c * grain, ((c + 1) * grain).min(n))
+                })
                 .collect()
         } else {
             self.chunked_collect(n, grain, fold_chunk)

@@ -58,6 +58,9 @@ struct Worker {
 /// Simulate the workload under the policy on `n_workers` workers.
 pub fn simulate(workload: &Workload, n_workers: usize, policy: Policy) -> Result<Metrics> {
     policy.validate(n_workers)?;
+    // One causal trace span per DES run; task lifecycle instants below
+    // attach to it, so a whole scheduling experiment reads as one request.
+    let _tr = le_obs::trace_span!("sched.simulate");
     let tasks = &workload.tasks;
     let mut events = BinaryHeap::new();
     let mut seq = 0u64;
@@ -88,6 +91,7 @@ pub fn simulate(workload: &Workload, n_workers: usize, policy: Policy) -> Result
     // Start a task on a worker: schedule its completion.
     macro_rules! start {
         ($w:expr, $task_idx:expr, $events:expr) => {{
+            le_obs::trace_instant!("sched.task.start");
             let t = &tasks[$task_idx];
             let finish = now + t.service;
             workers[$w].busy_until = finish;
@@ -172,6 +176,7 @@ pub fn simulate(workload: &Workload, n_workers: usize, policy: Policy) -> Result
                 }
             }
             EventKind::Completion { worker, task } => {
+                le_obs::trace_instant!("sched.task.complete");
                 let t = &tasks[task];
                 completions.push(Completion {
                     class: t.class,

@@ -77,4 +77,12 @@ fn main() {
         Ok(path) => println!("observability snapshot: {}", path.display()),
         Err(e) => eprintln!("warning: could not write OBS snapshot: {e}"),
     }
+
+    // 6. …and every phase also landed in the causal event journal. Export
+    //    it as Chrome trace_event JSON: load it in Perfetto / about:tracing
+    //    or render it with `cargo run -p le-obs --bin obsctl -- timeline`.
+    match le_obs::write_trace("quickstart") {
+        Ok(path) => println!("causal trace: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write trace: {e}"),
+    }
 }

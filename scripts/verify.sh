@@ -34,4 +34,26 @@ grep -q '"bench": "nn_potential"' results/BENCH_nn_potential.json
 grep -q '"spans"' results/OBS_bench_celllist.json
 grep -q '"spans"' results/OBS_bench_nn_potential.json
 
+# Observability regression gate: regenerate the deterministic OBS snapshots
+# with a pinned pool, then diff them — plus the bench medians written just
+# above — against the committed reference copies in results/baselines/.
+# Counter values, span counts, and histogram buckets must replicate
+# exactly; timings get a generous one-sided tolerance (the tight-tolerance
+# detection paths are pinned by le-obs's diff unit tests). The two
+# worker-schedule span counts are the only non-deterministic metrics and
+# are excluded by name.
+echo "==> observability baseline + obsctl diff gate"
+LE_POOL_THREADS=4 cargo run -q --release --offline -p le-bench --bin obs_baseline
+LE_POOL_THREADS=4 cargo run -q --release --offline --example quickstart >/dev/null
+cargo run -q --release --offline -p le-obs --bin obsctl -- diff \
+  --tolerance 100 \
+  --ignore le_pool.queue_wait --ignore le_pool.worker_busy
+
+# Trace-overhead smoke: journaling the MD step loop (spans + per-chunk pool
+# tasks) must stay within a few percent of the untraced run. The binary
+# interleaves journal-on/off reps and compares medians; gate via
+# LE_TRACE_OVERHEAD_PCT (default 5).
+echo "==> trace overhead smoke (journal on vs off)"
+cargo run -q --release --offline -p le-bench --bin trace_overhead
+
 echo "verify: OK"
