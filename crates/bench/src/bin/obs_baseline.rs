@@ -82,7 +82,10 @@ fn main() {
     .expect("valid config");
     for q in 0..24 {
         let x = [0.05 * q as f64, 0.2];
-        engine.query(&x).expect("query succeeds");
+        if let Err(e) = engine.query(&x) {
+            eprintln!("query {q} failed: {e}");
+            std::process::exit(1);
+        }
     }
     println!("hybrid: lookup fraction {:.2}", engine.lookup_fraction());
 

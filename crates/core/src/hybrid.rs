@@ -15,11 +15,20 @@
 //! effective speedup. The UQ gate also implements §III-B's proposal that
 //! UQ should decide when "the training routine might less likely need
 //! more data".
+//!
+//! Failure handling is delegated to the [`crate::supervisor`] degradation
+//! ladder: finiteness guards on both gate predictions and simulator
+//! outputs, bounded seeded retries (absorbing simulator panics), surrogate
+//! quarantine with re-admission, and a terminal simulator-only `Degraded`
+//! mode — a faulty simulator degrades the campaign, it does not kill it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use le_linalg::Matrix;
 use le_perfmodel::CampaignAccounting;
 
 use crate::simulator::Simulator;
+use crate::supervisor::{Supervisor, SupervisorConfig};
 use crate::surrogate::{NnSurrogate, SurrogateConfig};
 use crate::{LeError, Result};
 
@@ -81,11 +90,22 @@ pub struct HybridEngine<S: Simulator> {
     n_lookups: u64,
     n_simulations: u64,
     failed_retrains: u64,
+    supervisor: Supervisor,
 }
 
 impl<S: Simulator> HybridEngine<S> {
-    /// Wrap a simulator.
+    /// Wrap a simulator with the default degradation ladder
+    /// ([`SupervisorConfig::default`]).
     pub fn new(simulator: S, config: HybridConfig) -> Result<Self> {
+        Self::with_supervisor(simulator, config, SupervisorConfig::default())
+    }
+
+    /// Wrap a simulator with an explicit supervision configuration.
+    pub fn with_supervisor(
+        simulator: S,
+        config: HybridConfig,
+        supervision: SupervisorConfig,
+    ) -> Result<Self> {
         if config.uncertainty_threshold <= 0.0 {
             return Err(LeError::InvalidConfig(
                 "uncertainty threshold must be positive".into(),
@@ -113,7 +133,14 @@ impl<S: Simulator> HybridEngine<S> {
             n_lookups: 0,
             n_simulations: 0,
             failed_retrains: 0,
+            supervisor: Supervisor::new(supervision)?,
         })
+    }
+
+    /// The degradation-ladder state machine (rung, retries, quarantines,
+    /// last retrain error).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
     }
 
     /// The wrapped simulator.
@@ -171,54 +198,124 @@ impl<S: Simulator> HybridEngine<S> {
         // every pool task the simulator or trainer dispatches — carries
         // this root's trace_id (see le-obs's trace module).
         let _trace = le_obs::trace_root!("hybrid.query");
-        // Gate on the surrogate's uncertainty. The span records only when
-        // the gate admits the query, mirroring the accounting: a rejected
-        // prediction's cost belongs to the simulation that follows.
+        // Gate on the surrogate's uncertainty — but only while the
+        // supervisor trusts it (a quarantined or degraded surrogate is
+        // never consulted). The span records only when the gate admits the
+        // query, mirroring the accounting: a rejected prediction's cost
+        // belongs to the simulation that follows. A non-finite prediction
+        // or std — or a predict-time model error or panic — is a gate
+        // anomaly: counted, reported to the supervisor, and answered by
+        // falling through to the simulator rather than failing the query.
         let mut gate_std = None;
-        if let Some(surrogate) = self.surrogate.as_mut() {
-            let _t = le_obs::trace_span!("hybrid.lookup");
-            let sp = le_obs::timed_span!("hybrid.lookup");
-            let pred = surrogate.predict_with_uncertainty(input)?;
-            let std = pred.max_std();
-            gate_std = Some(std);
-            if std < self.config.uncertainty_threshold {
-                self.accounting.record_lookup(sp.finish_secs());
-                self.n_lookups += 1;
-                le_obs::counter!("hybrid.lookups").inc();
-                return Ok(QueryResult {
-                    output: pred.mean,
-                    source: QuerySource::Lookup,
-                    gate_std,
-                });
+        if self.supervisor.trusts_surrogate() {
+            if let Some(surrogate) = self.surrogate.as_mut() {
+                let _t = le_obs::trace_span!("hybrid.lookup");
+                let sp = le_obs::timed_span!("hybrid.lookup");
+                match catch_unwind(AssertUnwindSafe(|| surrogate.predict_with_uncertainty(input)))
+                {
+                    Ok(Ok(pred)) => {
+                        let finite = pred.mean.iter().all(|v| v.is_finite())
+                            && pred.std.iter().all(|v| v.is_finite());
+                        if finite {
+                            self.supervisor.note_gate_ok();
+                            let std = pred.max_std();
+                            gate_std = Some(std);
+                            if std < self.config.uncertainty_threshold {
+                                self.accounting.record_lookup(sp.finish_secs());
+                                self.n_lookups += 1;
+                                le_obs::counter!("hybrid.lookups").inc();
+                                return Ok(QueryResult {
+                                    output: pred.mean,
+                                    source: QuerySource::Lookup,
+                                    gate_std,
+                                });
+                            }
+                        } else {
+                            le_obs::counter!("gate.nonfinite").inc();
+                            self.supervisor.note_gate_anomaly();
+                        }
+                    }
+                    Ok(Err(_)) | Err(_) => {
+                        le_obs::counter!("gate.model_error").inc();
+                        self.supervisor.note_gate_anomaly();
+                    }
+                }
             }
         }
-        // Simulate; no run is wasted. A failing simulator drops the span
-        // unrecorded (accounting records nothing either) and bumps the
-        // error counter instead.
-        let trace_sp = le_obs::trace_span!("hybrid.simulate");
-        let sp = le_obs::timed_span!("hybrid.simulate");
-        self.seed_counter += 1;
-        let output = self
-            .simulator
-            .simulate(input, self.seed_counter)
-            .map_err(|e| {
-                le_obs::counter!("hybrid.sim_errors").inc();
-                LeError::Simulation(e.to_string())
-            })?;
-        self.accounting.record_training_sim(sp.finish_secs());
-        // Close the simulate trace span here so a retrain triggered below
-        // appears as a sibling phase of the query, not a child of the sim.
-        drop(trace_sp);
-        self.n_simulations += 1;
-        le_obs::counter!("hybrid.simulations").inc();
-        self.buffer_x.push(input.to_vec());
-        self.buffer_y.push(output.clone());
-        self.maybe_retrain();
-        Ok(QueryResult {
-            output,
-            source: QuerySource::Simulated,
-            gate_std,
-        })
+        self.simulate_supervised(input, gate_std)
+    }
+
+    /// Run the simulator with the supervisor's retry budget: each failed,
+    /// panicked, or non-finite attempt bumps `hybrid.sim_errors` and is
+    /// retried with a fresh deterministic seed (the serial seed counter
+    /// keeps advancing). Only a fully exhausted budget surfaces a typed
+    /// [`LeError::Simulation`] to the caller.
+    fn simulate_supervised(&mut self, input: &[f64], gate_std: Option<f64>) -> Result<QueryResult> {
+        let attempts = self.supervisor.max_attempts();
+        let mut last_err = LeError::Simulation("no simulation attempt made".into());
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.supervisor.note_retry();
+            }
+            // A failing attempt drops the spans unrecorded (accounting
+            // records nothing either) and bumps the error counter instead.
+            let trace_sp = le_obs::trace_span!("hybrid.simulate");
+            let sp = le_obs::timed_span!("hybrid.simulate");
+            self.seed_counter += 1;
+            let seed = self.seed_counter;
+            let sim = &self.simulator;
+            // A panicking simulator (e.g. a worker panic propagated out of
+            // a pool dispatch) is absorbed into the retry ladder: the next
+            // attempt re-dispatches the work.
+            let result = match catch_unwind(AssertUnwindSafe(|| sim.simulate(input, seed))) {
+                Ok(r) => r,
+                Err(_) => {
+                    le_obs::counter!("hybrid.sim_panics").inc();
+                    if attempt + 1 < attempts {
+                        le_obs::counter!("pool.task_respawn").inc();
+                    }
+                    Err(LeError::Simulation(format!(
+                        "simulator panicked (attempt {attempt})"
+                    )))
+                }
+            };
+            match result {
+                Ok(output) if output.iter().all(|v| v.is_finite()) => {
+                    self.accounting.record_training_sim(sp.finish_secs());
+                    // Close the simulate trace span here so a retrain
+                    // triggered below appears as a sibling phase of the
+                    // query, not a child of the sim.
+                    drop(trace_sp);
+                    self.n_simulations += 1;
+                    le_obs::counter!("hybrid.simulations").inc();
+                    self.buffer_x.push(input.to_vec());
+                    self.buffer_y.push(output.clone());
+                    self.maybe_retrain();
+                    return Ok(QueryResult {
+                        output,
+                        source: QuerySource::Simulated,
+                        gate_std,
+                    });
+                }
+                Ok(_) => {
+                    // A diverged run reporting success: never buffered,
+                    // never served.
+                    le_obs::counter!("hybrid.sim_nonfinite").inc();
+                    le_obs::counter!("hybrid.sim_errors").inc();
+                    last_err = LeError::Simulation(format!(
+                        "non-finite simulator output (attempt {attempt})"
+                    ));
+                }
+                Err(e) => {
+                    le_obs::counter!("hybrid.sim_errors").inc();
+                    last_err = match e {
+                        LeError::Simulation(s) => LeError::Simulation(s),
+                        other => LeError::Simulation(other.to_string()),
+                    };
+                }
+            }
+        }
+        Err(last_err)
     }
 
     /// Pre-seed the buffer with externally computed runs (e.g. an initial
@@ -237,11 +334,17 @@ impl<S: Simulator> HybridEngine<S> {
         Ok(())
     }
 
-    /// Retrain if due. Training failures (e.g. a diverged run poisoned the
-    /// buffer with non-finite outputs) do not fail the query that triggered
-    /// them — the simulated answer is still valid; the failure is counted
-    /// and the next growth threshold retries.
+    /// Retrain if due. Training failures do not fail the query that
+    /// triggered them — the simulated answer is still valid; the failure is
+    /// counted, surfaced through the supervisor's quarantine path (the
+    /// stale surrogate is no longer trusted; see
+    /// [`Supervisor::last_retrain_error`] for the typed detail), and the
+    /// next growth threshold retries. A Degraded engine stops retraining
+    /// entirely.
     fn maybe_retrain(&mut self) {
+        if !self.supervisor.wants_retrain() {
+            return;
+        }
         let n = self.buffer_x.len();
         let due = if self.surrogate.is_none() {
             n >= self.config.min_training_runs
@@ -249,9 +352,8 @@ impl<S: Simulator> HybridEngine<S> {
             n as f64 >= self.runs_at_last_fit as f64 * self.config.retrain_growth
         };
         if due && self.retrain().is_err() {
-            self.failed_retrains += 1;
-            le_obs::counter!("hybrid.retrain_errors").inc();
-            // Push the next attempt out by the growth factor.
+            // Push the next attempt out by the growth factor. The
+            // supervisor transition was already noted inside `retrain`.
             self.runs_at_last_fit = n;
         }
     }
@@ -277,11 +379,27 @@ impl<S: Simulator> HybridEngine<S> {
         }
         let _t = le_obs::trace_span!("hybrid.retrain");
         let sp = le_obs::timed_span!("hybrid.retrain");
-        let surrogate = NnSurrogate::fit(&x, &y, &self.config.surrogate)?;
-        self.accounting.record_learning(sp.finish_secs());
-        self.surrogate = Some(surrogate);
-        self.runs_at_last_fit = n;
-        Ok(())
+        // A panic inside training (e.g. a worker panic out of the trainer's
+        // pool dispatch) is a failed retrain like any other — the campaign
+        // must survive it.
+        let cfg = &self.config.surrogate;
+        let fitted = catch_unwind(AssertUnwindSafe(|| NnSurrogate::fit(&x, &y, cfg)))
+            .unwrap_or_else(|_| Err(LeError::Model("surrogate training panicked".into())));
+        match fitted {
+            Ok(surrogate) => {
+                self.accounting.record_learning(sp.finish_secs());
+                self.surrogate = Some(surrogate);
+                self.runs_at_last_fit = n;
+                self.supervisor.note_retrain_success();
+                Ok(())
+            }
+            Err(e) => {
+                self.failed_retrains += 1;
+                le_obs::counter!("hybrid.retrain_errors").inc();
+                self.supervisor.note_retrain_failure(e.clone());
+                Err(e)
+            }
+        }
     }
 
     /// Fraction of queries served by lookup so far.

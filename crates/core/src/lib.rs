@@ -31,6 +31,10 @@
 //!   verification in the loop.
 //! * [`accounting`] — re-exported effective-performance accounting
 //!   ([`le_perfmodel::CampaignAccounting`]) plus timing helpers.
+//! * [`supervisor`] — the degradation ladder ([`supervisor::Supervisor`])
+//!   that keeps the engine answering under simulator faults, non-finite
+//!   outputs, and failed retrains: bounded seeded retries, surrogate
+//!   quarantine with re-admission, and a terminal sim-only `Degraded` mode.
 
 pub mod accounting;
 pub mod active;
@@ -38,11 +42,13 @@ pub mod autotune;
 pub mod control;
 pub mod hybrid;
 pub mod simulator;
+pub mod supervisor;
 pub mod surrogate;
 pub mod taxonomy;
 
 pub use hybrid::{HybridConfig, HybridEngine, QuerySource};
 pub use simulator::Simulator;
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorState};
 pub use surrogate::{NnSurrogate, SurrogateConfig};
 
 /// Errors from the framework.

@@ -40,6 +40,12 @@
 //!   could desynchronize the causal structure the canonical timeline and
 //!   `obsctl diff` rely on. Like L6, this rule has **no** `lint:allow`
 //!   escape.
+//! * **L8 `le-error-unwrap`** — `.unwrap()` / `.expect(` on a
+//!   `Result<_, LeError>` (heuristic: a panicking call co-occurring with an
+//!   engine API or an `LeError` mention on one line). The supervised engine
+//!   returns typed errors precisely so callers can degrade; unlike L2 this
+//!   rule applies to **binaries too** — drivers are exactly where
+//!   degradation must be handled, not panicked through.
 //!
 //! Any finding except L6/L7 can be suppressed for one line with a trailing
 //! `// lint:allow(<rule>)` comment (a justification after a `:` is
@@ -56,7 +62,7 @@ pub mod workspace;
 
 pub use workspace::{check_workspace, Report};
 
-/// The seven workspace lint rules.
+/// The eight workspace lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// L1: only in-tree dependencies in any manifest.
@@ -75,11 +81,14 @@ pub enum Rule {
     /// L7: trace-journal mutation only through the `le-obs` guard macros
     /// outside the observability crate itself.
     TraceHygiene,
+    /// L8: no `unwrap`/`expect` on `Result<_, LeError>` anywhere outside
+    /// tests — binaries included; typed errors feed the degradation ladder.
+    LeErrorUnwrap,
 }
 
 impl Rule {
-    /// All rules, in L1..L7 order.
-    pub const ALL: [Rule; 7] = [
+    /// All rules, in L1..L8 order.
+    pub const ALL: [Rule; 8] = [
         Rule::Hermeticity,
         Rule::NoPanic,
         Rule::FloatHygiene,
@@ -87,6 +96,7 @@ impl Rule {
         Rule::LintHeaders,
         Rule::WallClock,
         Rule::TraceHygiene,
+        Rule::LeErrorUnwrap,
     ];
 
     /// The stable rule name used in diagnostics and `lint:allow(...)`.
@@ -99,6 +109,7 @@ impl Rule {
             Rule::LintHeaders => "lint-headers",
             Rule::WallClock => "wallclock",
             Rule::TraceHygiene => "trace-hygiene",
+            Rule::LeErrorUnwrap => "le-error-unwrap",
         }
     }
 }
@@ -149,7 +160,7 @@ pub fn is_in_tree_name(name: &str, members: &BTreeSet<String>) -> bool {
 /// (rule L4): the simulation and kernel substrates. Orchestration and
 /// measurement crates (`core`, `perfmodel`, `sched`, `bench`) legitimately
 /// read wall-clock time for effective-speedup accounting.
-pub const SIM_KERNEL_CRATES: [&str; 7] = [
+pub const SIM_KERNEL_CRATES: [&str; 8] = [
     "le-pool",
     "le-linalg",
     "le-nn",
@@ -157,6 +168,7 @@ pub const SIM_KERNEL_CRATES: [&str; 7] = [
     "le-netdyn",
     "le-tissue",
     "le-mlkernels",
+    "le-faults",
 ];
 
 /// The only crate allowed to read the wall clock directly (rule L6): the
@@ -208,7 +220,8 @@ mod tests {
                 "determinism",
                 "lint-headers",
                 "wallclock",
-                "trace-hygiene"
+                "trace-hygiene",
+                "le-error-unwrap"
             ]
         );
     }

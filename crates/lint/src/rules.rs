@@ -1,4 +1,4 @@
-//! The source-level rule matchers (L2, L3, L4, L5, L6, L7).
+//! The source-level rule matchers (L2, L3, L4, L5, L6, L7, L8).
 //!
 //! Each matcher takes scanned lines (see [`crate::scanner`]) and returns
 //! findings as `(line_number, message)` pairs; the workspace driver
@@ -82,6 +82,43 @@ pub fn check_trace_hygiene(lines: &[Line]) -> Vec<(usize, String)> {
             if line.code.contains(pat) {
                 out.push((idx + 1, (*msg).to_string()));
             }
+        }
+    }
+    out
+}
+
+/// L8: engine APIs whose `Result<_, LeError>` a caller might be tempted to
+/// unwrap. A line is flagged when one of these co-occurs with a panicking
+/// call — the typed error exists so the caller can degrade (retry,
+/// quarantine, serve simulator-only), not panic the campaign.
+const LE_ERROR_MARKERS: [&str; 5] = [
+    ".query(",
+    ".seed_training(",
+    ".retrain(",
+    ".calibrate_gate(",
+    "LeError",
+];
+
+/// Check L8 over scanned lines. Unlike L2, the workspace driver applies
+/// this to binary targets too: drivers are exactly where degradation must
+/// be handled. `#[cfg(test)]` modules remain exempt, and a deliberate
+/// invariant can be suppressed with `// lint:allow(le-error-unwrap): <why>`.
+pub fn check_le_error_unwrap(lines: &[Line]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || line.allows_rule("le-error-unwrap") {
+            continue;
+        }
+        let panicking = line.code.contains(".unwrap()") || line.code.contains(".expect(");
+        if panicking && LE_ERROR_MARKERS.iter().any(|m| line.code.contains(m)) {
+            out.push((
+                idx + 1,
+                "`.unwrap()`/`.expect(...)` on a `Result<_, LeError>` — match on the \
+                 typed error and degrade (retry, fall back to simulation, exit with a \
+                 message) instead of panicking; `// lint:allow(le-error-unwrap): <why>` \
+                 if the invariant is local and checked"
+                    .to_string(),
+            ));
         }
     }
     out
@@ -402,6 +439,49 @@ mod tests {
     fn trace_hygiene_exempts_cfg_test_modules() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { le_obs::trace::reset(); }\n}";
         assert!(check_trace_hygiene(&scan(src)).is_empty());
+    }
+
+    #[test]
+    fn le_error_unwrap_fires_on_engine_results() {
+        for snippet in [
+            "let r = engine.query(&x).unwrap();",
+            "let r = engine.query(&x).expect(\"query succeeds\");",
+            "engine.seed_training(&xs, &ys).unwrap();",
+            "engine.retrain().expect(\"fits\");",
+            "let t = engine.calibrate_gate(&vx, &vy, 0.1).unwrap();",
+            "let v: Result<Vec<f64>, LeError> = sim(); v.unwrap();",
+        ] {
+            let hits = check_le_error_unwrap(&scan(snippet));
+            assert_eq!(hits.len(), 1, "no hit for {snippet}");
+        }
+    }
+
+    #[test]
+    fn le_error_unwrap_negative_cases() {
+        for snippet in [
+            // Panicking call without an LeError API on the line.
+            "let x = v.first().unwrap();",
+            // Engine API handled properly.
+            "let r = engine.query(&x)?;",
+            "if let Err(e) = engine.query(&x) { eprintln!(\"{e}\"); }",
+            "let r = engine.query(&x).unwrap_or_else(|_| fallback());",
+            // Strings and comments don't count.
+            "// engine.query(&x).unwrap() would defeat the ladder",
+            "let s = \"engine.query(&x).unwrap()\";",
+        ] {
+            let hits = check_le_error_unwrap(&scan(snippet));
+            assert!(hits.is_empty(), "false positive on {snippet}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn le_error_unwrap_allow_escape_and_test_exemption() {
+        assert!(check_le_error_unwrap(&scan(
+            "engine.query(&x).unwrap(); // lint:allow(le-error-unwrap): input validated"
+        ))
+        .is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { engine.query(&x).unwrap(); }\n}";
+        assert!(check_le_error_unwrap(&scan(src)).is_empty());
     }
 
     #[test]

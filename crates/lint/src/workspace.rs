@@ -84,7 +84,7 @@ struct Member {
     src: PathBuf,
 }
 
-/// Run all seven rules over the workspace rooted at `root`.
+/// Run all eight rules over the workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
     let members = locate_members(root)?;
     let names: BTreeSet<String> = members.iter().map(|m| m.name.clone()).collect();
@@ -168,6 +168,18 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
                         });
                     }
                 }
+            }
+
+            // L8 applies to binary targets too (unlike L2): drivers are
+            // exactly where `Result<_, LeError>` must be handled, not
+            // panicked through.
+            for (line, message) in rules::check_le_error_unwrap(&lines) {
+                report.violations.push(Violation {
+                    file: file.clone(),
+                    line,
+                    rule: Rule::LeErrorUnwrap,
+                    message,
+                });
             }
 
             if source == root_file {

@@ -106,6 +106,25 @@ fn lint_headers_fixture_flags_missing_headers() {
 }
 
 #[test]
+fn le_error_unwrap_fixture_flags_lib_and_bin() {
+    let report = check_workspace(&fixture("le_error_unwrap")).expect("scan");
+    let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+    // One hit in lib.rs, one in the binary — unlike L2, drivers are not
+    // exempt. The allowed line and the `#[cfg(test)]` unwrap stay silent.
+    assert_eq!(
+        rules,
+        [Rule::LeErrorUnwrap, Rule::LeErrorUnwrap],
+        "{}",
+        report.to_text()
+    );
+    assert!(report.violations.iter().any(|v| v.file.ends_with("lib.rs")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.file.ends_with("driver.rs")));
+}
+
+#[test]
 fn real_workspace_is_clean() {
     let report = check_workspace(&workspace_root()).expect("workspace scans");
     assert!(
@@ -113,8 +132,8 @@ fn real_workspace_is_clean() {
         "workspace has lint violations:\n{}",
         report.to_text()
     );
-    // All 14 crates plus the root package.
-    assert_eq!(report.manifests_scanned, 15);
+    // All 15 crates plus the root package.
+    assert_eq!(report.manifests_scanned, 16);
     assert!(report.files_scanned > 50);
 }
 
@@ -136,6 +155,7 @@ fn cli_exit_codes() {
         "lint_headers",
         "wallclock",
         "trace_hygiene",
+        "le_error_unwrap",
     ] {
         let out = Command::new(bin)
             .args(["check", "--root"])

@@ -101,6 +101,69 @@ thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Deterministic single-shot worker-panic injection, armed by `le-faults`.
+///
+/// A countdown of pool tasks is armed once; each task executed while armed
+/// decrements it, and the task that drains it panics — on whichever thread
+/// claimed it — then the hook disarms itself. Because every decomposition
+/// in this crate emits a thread-count-invariant task sequence (see the
+/// crate docs), the panic lands in the *same dispatch* at any
+/// `LE_POOL_THREADS`; the dispatch fails wholesale either way (inline: the
+/// panic unwinds the caller's loop; pooled: `run_job` resumes the captured
+/// payload), so supervised retries observe identical behaviour. The fast
+/// path while disarmed is one relaxed atomic load.
+pub mod fault {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Sentinel meaning "no panic armed".
+    const DISARMED: u64 = u64::MAX;
+
+    static COUNTDOWN: AtomicU64 = AtomicU64::new(DISARMED);
+
+    /// Arm a panic to fire on the `after_tasks`-th pool task from now
+    /// (0 fires on the next task). Re-arming replaces any pending shot;
+    /// `u64::MAX - 1` tasks is the largest supported delay.
+    pub fn arm_worker_panic(after_tasks: u64) {
+        COUNTDOWN.store(after_tasks.min(DISARMED - 1), Ordering::SeqCst);
+    }
+
+    /// Cancel a pending injected panic.
+    pub fn disarm() {
+        COUNTDOWN.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// True while a shot is pending.
+    pub fn armed() -> bool {
+        COUNTDOWN.load(Ordering::SeqCst) != DISARMED
+    }
+
+    /// Called once per pool task by the decomposition helpers. The
+    /// disarmed fast path is a single inlined relaxed load so the hook
+    /// stays invisible in the task-dispatch hot loop.
+    #[inline(always)]
+    pub(crate) fn check() {
+        if COUNTDOWN.load(Ordering::Relaxed) != DISARMED {
+            check_armed();
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn check_armed() {
+        let prev = COUNTDOWN.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| match v {
+            DISARMED => None,
+            0 => Some(DISARMED),
+            n => Some(n - 1),
+        });
+        if prev == Ok(0) {
+            le_obs::counter!("faults.injected.worker_panic").inc();
+            // The whole point of the hook: die exactly like a buggy task
+            // body would, so the supervision layers above get exercised.
+            panic!("le-pool: injected worker panic (armed by le-faults)"); // lint:allow(no-panic): deliberate fault injection
+        }
+    }
+}
+
 /// Shared pool state behind the mutex.
 struct State {
     /// The single-slot injector: the job currently being executed, if any.
@@ -343,6 +406,7 @@ impl Pool {
         if self.inline() || n_tasks == 1 {
             for i in 0..n_tasks {
                 let _t = le_obs::trace_span!("pool.task");
+                fault::check();
                 f(i);
             }
             return;
@@ -355,6 +419,7 @@ impl Pool {
             }
             le_obs::counter!("le_pool.tasks_claimed").inc();
             let _t = le_obs::trace_span!("pool.task");
+            fault::check();
             f(i);
         };
         self.run_job(&body);
@@ -403,6 +468,7 @@ impl Pool {
             let mut out = Vec::with_capacity(n);
             for c in 0..n_chunks {
                 let _t = le_obs::trace_span!("pool.task");
+                fault::check();
                 let lo = c * chunk;
                 out.extend((lo..(lo + chunk).min(n)).map(&f));
             }
@@ -445,6 +511,7 @@ impl Pool {
                 // One `pool.task` per chunk, matching the pooled path's
                 // per-task span from `par_for_each`.
                 let _t = le_obs::trace_span!("pool.task");
+                fault::check();
                 f(c * chunk_len, chunk);
             }
             return;
@@ -496,6 +563,7 @@ impl Pool {
                 .map(|c| {
                     // One `pool.task` per chunk, matching the pooled path.
                     let _t = le_obs::trace_span!("pool.task");
+                    fault::check();
                     fold_chunk(c * grain, ((c + 1) * grain).min(n))
                 })
                 .collect()

@@ -1,19 +1,31 @@
-//! The discrete-event engine: a single clock, arrival and completion
-//! events, and policy-specific queue management.
+//! The discrete-event engine: a single clock, arrival / completion /
+//! timeout events, and policy-specific queue management.
+//!
+//! Straggler supervision (all in logical simulated time, never wall-clock):
+//! [`simulate_with`] accepts a per-attempt deadline budget and a bounded
+//! re-dispatch count. An attempt whose (possibly stall-inflated) service
+//! would overrun the budget is cut off at the deadline, counted
+//! (`sched.timeout`, `sched.redispatch`), and re-enters the policy's
+//! arrival routing as a fresh attempt; the final permitted attempt always
+//! runs to completion, so every task terminates. Injected stalls
+//! ([`Stall`]) model stragglers: extra service applied to one specific
+//! `(task, attempt)` pair, typically produced by `le-faults`'s seeded plan.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::metrics::{Completion, Metrics};
 use crate::policy::Policy;
 use crate::task::{TaskClass, Workload};
-use crate::Result;
+use crate::{Result, SchedError};
 
 /// Event in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     Arrival(usize),
     Completion { worker: usize, task: usize },
+    /// An attempt hit its deadline budget: free the worker, re-dispatch.
+    Timeout { worker: usize, task: usize },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -55,13 +67,81 @@ struct Worker {
     queued_service: f64,
 }
 
+/// An injected logical-time stall: `extra` additional service applied to
+/// one specific attempt of one task (a deterministic straggler).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stall {
+    /// Task index within the workload.
+    pub task: usize,
+    /// Zero-based attempt the stall applies to (0 = first dispatch).
+    pub attempt: usize,
+    /// Extra logical service time, ≥ 0 and finite.
+    pub extra: f64,
+}
+
+/// Straggler-supervision options for [`simulate_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Per-attempt logical service budget. An attempt whose effective
+    /// service exceeds it is timed out at the budget — unless the task has
+    /// exhausted `max_redispatch`, in which case the attempt runs to
+    /// completion (guaranteed termination). `None` disables timeouts.
+    pub deadline: Option<f64>,
+    /// Maximum re-dispatches per task after timeouts (0 disables timeouts
+    /// even when a deadline is set: the single permitted attempt must run
+    /// to completion).
+    pub max_redispatch: usize,
+    /// Injected per-`(task, attempt)` stalls (duplicates sum).
+    pub stalls: Vec<Stall>,
+}
+
 /// Simulate the workload under the policy on `n_workers` workers.
 pub fn simulate(workload: &Workload, n_workers: usize, policy: Policy) -> Result<Metrics> {
+    simulate_with(workload, n_workers, policy, &SimOptions::default())
+}
+
+/// [`simulate`] with deadline budgets, bounded re-dispatch, and injected
+/// stalls. With `SimOptions::default()` the behaviour — including every
+/// event timestamp — is identical to [`simulate`].
+pub fn simulate_with(
+    workload: &Workload,
+    n_workers: usize,
+    policy: Policy,
+    opts: &SimOptions,
+) -> Result<Metrics> {
     policy.validate(n_workers)?;
+    let tasks = &workload.tasks;
+    if let Some(d) = opts.deadline {
+        if !(d > 0.0 && d.is_finite()) {
+            return Err(SchedError::InvalidConfig(format!(
+                "deadline must be positive and finite, got {d}"
+            )));
+        }
+    }
+    for s in &opts.stalls {
+        if s.task >= tasks.len() {
+            return Err(SchedError::InvalidConfig(format!(
+                "stall targets task {} of {}",
+                s.task,
+                tasks.len()
+            )));
+        }
+        if !(s.extra >= 0.0 && s.extra.is_finite()) {
+            return Err(SchedError::InvalidConfig(format!(
+                "stall extra must be ≥ 0 and finite, got {}",
+                s.extra
+            )));
+        }
+    }
+    // (task, attempt) -> summed injected stall. Lookup-only, so the
+    // HashMap's iteration order never matters.
+    let mut stall_map: HashMap<(usize, usize), f64> = HashMap::new();
+    for s in &opts.stalls {
+        *stall_map.entry((s.task, s.attempt)).or_insert(0.0) += s.extra;
+    }
     // One causal trace span per DES run; task lifecycle instants below
     // attach to it, so a whole scheduling experiment reads as one request.
     let _tr = le_obs::trace_span!("sched.simulate");
-    let tasks = &workload.tasks;
     let mut events = BinaryHeap::new();
     let mut seq = 0u64;
     for (i, t) in tasks.iter().enumerate() {
@@ -82,30 +162,112 @@ pub fn simulate(workload: &Workload, n_workers: usize, policy: Policy) -> Result
     let mut now = 0.0f64;
     // Round-robin pointer for WorkStealing placement.
     let mut rr = 0usize;
+    // Dispatch attempts made so far, per task (0 until first start).
+    let mut attempts = vec![0usize; tasks.len()];
 
     let learnt_pool = match policy {
         Policy::DedicatedSplit { learnt_workers } => learnt_workers,
         _ => 0,
     };
 
-    // Start a task on a worker: schedule its completion.
+    // Effective service of a task's next/current attempt: base + stall.
+    let eff = |idx: usize, attempt: usize| -> f64 {
+        tasks[idx].service + stall_map.get(&(idx, attempt)).copied().unwrap_or(0.0)
+    };
+
+    // Start a task on a worker: schedule its completion — or, when its
+    // effective service overruns the deadline budget and re-dispatches
+    // remain, its timeout at the budget.
     macro_rules! start {
         ($w:expr, $task_idx:expr, $events:expr) => {{
             le_obs::trace_instant!("sched.task.start");
-            let t = &tasks[$task_idx];
-            let finish = now + t.service;
+            let service = eff($task_idx, attempts[$task_idx]);
+            let (finish, kind) = match opts.deadline {
+                Some(d) if service > d && attempts[$task_idx] < opts.max_redispatch => (
+                    now + d,
+                    EventKind::Timeout {
+                        worker: $w,
+                        task: $task_idx,
+                    },
+                ),
+                _ => (
+                    now + service,
+                    EventKind::Completion {
+                        worker: $w,
+                        task: $task_idx,
+                    },
+                ),
+            };
             workers[$w].busy_until = finish;
-            workers[$w].busy_time += t.service;
+            workers[$w].busy_time += finish - now;
             worker_free[$w] = false;
             $events.push(Event {
                 time: finish,
                 seq,
-                kind: EventKind::Completion {
-                    worker: $w,
-                    task: $task_idx,
-                },
+                kind,
             });
             seq += 1;
+        }};
+    }
+
+    // A worker just went free (completion or timeout): pull next work per
+    // policy.
+    macro_rules! pull_next {
+        ($worker:expr, $events:expr) => {{
+            let worker = $worker;
+            match policy {
+                Policy::SingleQueue => {
+                    if let Some(next) = global_fifo.pop_front() {
+                        start!(worker, next, $events);
+                    }
+                }
+                Policy::LearntPriority => {
+                    if let Some(next) =
+                        learnt_fifo.pop_front().or_else(|| global_fifo.pop_front())
+                    {
+                        start!(worker, next, $events);
+                    }
+                }
+                Policy::DedicatedSplit { .. } => {
+                    let queue = if worker < learnt_pool {
+                        &mut learnt_fifo
+                    } else {
+                        &mut unlearnt_fifo
+                    };
+                    if let Some(next) = queue.pop_front() {
+                        start!(worker, next, $events);
+                    }
+                }
+                Policy::ShortestQueue => {
+                    if let Some(next) = workers[worker].queue.pop_front() {
+                        workers[worker].queued_service -= tasks[next].service;
+                        start!(worker, next, $events);
+                    }
+                }
+                Policy::WorkStealing => {
+                    let next = if let Some(n) = workers[worker].queue.pop_front() {
+                        workers[worker].queued_service -= tasks[n].service;
+                        Some(n)
+                    } else {
+                        // Steal from the most loaded queue.
+                        let victim = (0..n_workers)
+                            .filter(|&v| !workers[v].queue.is_empty())
+                            .max_by(|&a, &b| {
+                                workers[a]
+                                    .queued_service
+                                    .total_cmp(&workers[b].queued_service)
+                            });
+                        victim.and_then(|v| {
+                            workers[v].queue.pop_back().inspect(|&n| {
+                                workers[v].queued_service -= tasks[n].service;
+                            })
+                        })
+                    };
+                    if let Some(n) = next {
+                        start!(worker, n, $events);
+                    }
+                }
+            }
         }};
     }
 
@@ -178,67 +340,32 @@ pub fn simulate(workload: &Workload, n_workers: usize, policy: Policy) -> Result
             EventKind::Completion { worker, task } => {
                 le_obs::trace_instant!("sched.task.complete");
                 let t = &tasks[task];
+                let service = eff(task, attempts[task]);
                 completions.push(Completion {
                     class: t.class,
                     arrival: t.arrival,
-                    start: now - t.service,
+                    start: now - service,
                     finish: now,
                 });
                 worker_free[worker] = true;
-                // Pull next work per policy.
-                match policy {
-                    Policy::SingleQueue => {
-                        if let Some(next) = global_fifo.pop_front() {
-                            start!(worker, next, events);
-                        }
-                    }
-                    Policy::LearntPriority => {
-                        if let Some(next) =
-                            learnt_fifo.pop_front().or_else(|| global_fifo.pop_front())
-                        {
-                            start!(worker, next, events);
-                        }
-                    }
-                    Policy::DedicatedSplit { .. } => {
-                        let queue = if worker < learnt_pool {
-                            &mut learnt_fifo
-                        } else {
-                            &mut unlearnt_fifo
-                        };
-                        if let Some(next) = queue.pop_front() {
-                            start!(worker, next, events);
-                        }
-                    }
-                    Policy::ShortestQueue => {
-                        if let Some(next) = workers[worker].queue.pop_front() {
-                            workers[worker].queued_service -= tasks[next].service;
-                            start!(worker, next, events);
-                        }
-                    }
-                    Policy::WorkStealing => {
-                        let next = if let Some(n) = workers[worker].queue.pop_front() {
-                            workers[worker].queued_service -= tasks[n].service;
-                            Some(n)
-                        } else {
-                            // Steal from the most loaded queue.
-                            let victim = (0..n_workers)
-                                .filter(|&v| !workers[v].queue.is_empty())
-                                .max_by(|&a, &b| {
-                                    workers[a]
-                                        .queued_service
-                                        .total_cmp(&workers[b].queued_service)
-                                });
-                            victim.and_then(|v| {
-                                workers[v].queue.pop_back().inspect(|&n| {
-                                    workers[v].queued_service -= tasks[n].service;
-                                })
-                            })
-                        };
-                        if let Some(n) = next {
-                            start!(worker, n, events);
-                        }
-                    }
-                }
+                pull_next!(worker, events);
+            }
+            EventKind::Timeout { worker, task } => {
+                le_obs::trace_instant!("sched.task.timeout");
+                le_obs::counter!("sched.timeout").inc();
+                le_obs::counter!("sched.redispatch").inc();
+                // The straggling attempt is abandoned at the budget; the
+                // task re-enters the policy's arrival routing at the
+                // current clock as its next attempt.
+                attempts[task] += 1;
+                events.push(Event {
+                    time: now,
+                    seq,
+                    kind: EventKind::Arrival(task),
+                });
+                seq += 1;
+                worker_free[worker] = true;
+                pull_next!(worker, events);
             }
         }
     }
@@ -274,6 +401,17 @@ mod tests {
             Policy::WorkStealing,
             Policy::LearntPriority,
         ]
+    }
+
+    fn one_task(service: f64) -> Workload {
+        Workload {
+            tasks: vec![Task {
+                id: 0,
+                class: TaskClass::Unlearnt,
+                arrival: 0.0,
+                service,
+            }],
+        }
     }
 
     #[test]
@@ -426,5 +564,127 @@ mod tests {
         let w = mixed_workload(10);
         assert!(simulate(&w, 0, Policy::SingleQueue).is_err());
         assert!(simulate(&w, 4, Policy::DedicatedSplit { learnt_workers: 9 }).is_err());
+    }
+
+    #[test]
+    fn default_options_reproduce_plain_simulate() {
+        let w = mixed_workload(17);
+        for policy in all_policies() {
+            let plain = simulate(&w, 4, policy).unwrap();
+            let opt = simulate_with(&w, 4, policy, &SimOptions::default()).unwrap();
+            assert_eq!(plain.makespan, opt.makespan, "{}", policy.name());
+            assert_eq!(plain.n_completed, opt.n_completed);
+            assert_eq!(plain.total_busy, opt.total_busy);
+        }
+    }
+
+    #[test]
+    fn overlong_task_times_out_and_final_attempt_completes() {
+        // service 10 under a budget of 2 with 2 re-dispatches: attempts at
+        // t=0 and t=2 are cut at the budget; the final attempt (t=4) must
+        // run to completion -> makespan 14, busy 2 + 2 + 10.
+        let w = one_task(10.0);
+        let opts = SimOptions {
+            deadline: Some(2.0),
+            max_redispatch: 2,
+            stalls: vec![],
+        };
+        let before = le_obs::snapshot().counter("sched.timeout").unwrap_or(0);
+        let m = simulate_with(&w, 1, Policy::SingleQueue, &opts).unwrap();
+        assert_eq!(m.n_completed, 1);
+        assert!((m.makespan - 14.0).abs() < 1e-12, "makespan {}", m.makespan);
+        assert!((m.total_busy - 14.0).abs() < 1e-12, "busy {}", m.total_busy);
+        let after = le_obs::snapshot().counter("sched.timeout").unwrap_or(0);
+        assert_eq!(after - before, 2, "two timed-out attempts");
+    }
+
+    #[test]
+    fn stalled_attempt_times_out_and_clean_retry_escapes() {
+        // A short task whose *first* attempt is stalled past the budget:
+        // timeout at t=2, retry runs the clean 1.0 service -> makespan 3.
+        let w = one_task(1.0);
+        let opts = SimOptions {
+            deadline: Some(2.0),
+            max_redispatch: 1,
+            stalls: vec![Stall {
+                task: 0,
+                attempt: 0,
+                extra: 5.0,
+            }],
+        };
+        let m = simulate_with(&w, 1, Policy::SingleQueue, &opts).unwrap();
+        assert_eq!(m.n_completed, 1);
+        assert!((m.makespan - 3.0).abs() < 1e-12, "makespan {}", m.makespan);
+        assert!((m.total_busy - 3.0).abs() < 1e-12, "busy {}", m.total_busy);
+    }
+
+    #[test]
+    fn zero_redispatch_budget_disables_timeouts() {
+        let w = one_task(10.0);
+        let opts = SimOptions {
+            deadline: Some(2.0),
+            max_redispatch: 0,
+            stalls: vec![],
+        };
+        let m = simulate_with(&w, 1, Policy::SingleQueue, &opts).unwrap();
+        assert!((m.makespan - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalls_complete_under_every_policy_and_are_deterministic() {
+        let w = mixed_workload(21);
+        let stalls: Vec<Stall> = (0..800)
+            .step_by(37)
+            .map(|task| Stall {
+                task,
+                attempt: 0,
+                extra: 7.0,
+            })
+            .collect();
+        let opts = SimOptions {
+            deadline: Some(5.0),
+            max_redispatch: 2,
+            stalls,
+        };
+        for policy in all_policies() {
+            let a = simulate_with(&w, 4, policy, &opts).unwrap();
+            let b = simulate_with(&w, 4, policy, &opts).unwrap();
+            assert_eq!(a.n_completed, 800, "{}", policy.name());
+            assert_eq!(a.makespan, b.makespan, "{}", policy.name());
+            assert_eq!(a.total_busy, b.total_busy, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let w = one_task(1.0);
+        for d in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let opts = SimOptions {
+                deadline: Some(d),
+                max_redispatch: 1,
+                stalls: vec![],
+            };
+            assert!(simulate_with(&w, 1, Policy::SingleQueue, &opts).is_err());
+        }
+        let bad_task = SimOptions {
+            deadline: None,
+            max_redispatch: 0,
+            stalls: vec![Stall {
+                task: 5,
+                attempt: 0,
+                extra: 1.0,
+            }],
+        };
+        assert!(simulate_with(&w, 1, Policy::SingleQueue, &bad_task).is_err());
+        let bad_extra = SimOptions {
+            deadline: None,
+            max_redispatch: 0,
+            stalls: vec![Stall {
+                task: 0,
+                attempt: 0,
+                extra: -2.0,
+            }],
+        };
+        assert!(simulate_with(&w, 1, Policy::SingleQueue, &bad_extra).is_err());
     }
 }

@@ -21,7 +21,9 @@
 //!   paper: "the relative values will even vary over execution time of the
 //!   application, as the amount of data generated as a ratio of training
 //!   data will vary").
-//! * [`des`] — the event-driven engine.
+//! * [`des`] — the event-driven engine, with per-task logical-time
+//!   deadline budgets, timeouts, and bounded re-dispatch of stragglers
+//!   ([`des::simulate_with`]) for the supervision layer.
 //! * [`policy`] — Single global FIFO, dedicated split pools, shortest-queue
 //!   dispatch, and work stealing.
 //! * [`metrics`] — per-class latency/wait statistics, utilization,
@@ -32,7 +34,7 @@ pub mod metrics;
 pub mod policy;
 pub mod task;
 
-pub use des::simulate;
+pub use des::{simulate, simulate_with, SimOptions, Stall};
 pub use metrics::Metrics;
 pub use policy::Policy;
 pub use task::{Task, TaskClass, Workload, WorkloadConfig};

@@ -49,6 +49,29 @@ cargo run -q --release --offline -p le-obs --bin obsctl -- diff \
   --tolerance 100 \
   --ignore le_pool.queue_wait --ignore le_pool.worker_busy
 
+# Fault-campaign gate: a seeded campaign with injected simulator errors,
+# NaN outputs, a worker panic, and DES stalls must complete (every query
+# served), produce a byte-identical digest at any LE_POOL_THREADS, and
+# replicate the committed degradation counters exactly (the thread-variant
+# pool-schedule metrics are excluded by prefix).
+echo "==> fault campaign: digest invariance at LE_POOL_THREADS=1/4/7 + obsctl diff"
+fault_digest=""
+for threads in 1 4 7; do
+  out="$(LE_POOL_THREADS=$threads cargo run -q --release --offline -p le-bench --bin fault_campaign 2>/dev/null)"
+  d="$(printf '%s\n' "$out" | sed -n 's/^digest //p')"
+  [ -n "$d" ] || { echo "fault_campaign printed no digest at LE_POOL_THREADS=$threads" >&2; exit 1; }
+  if [ -z "$fault_digest" ]; then
+    fault_digest="$d"
+  elif [ "$d" != "$fault_digest" ]; then
+    echo "fault campaign digest diverged: $fault_digest vs $d (LE_POOL_THREADS=$threads)" >&2
+    exit 1
+  fi
+done
+echo "    digest $fault_digest at all thread counts"
+cargo run -q --release --offline -p le-obs --bin obsctl -- diff \
+  --baseline results/baselines/faults --current results \
+  --tolerance 100 --ignore le_pool.
+
 # Trace-overhead smoke: journaling the MD step loop (spans + per-chunk pool
 # tasks) must stay within a few percent of the untraced run. The binary
 # interleaves journal-on/off reps and compares medians; gate via

@@ -1,0 +1,79 @@
+//! Worker-panic injection: an armed `le-pool` panic fired inside a
+//! simulator's parallel dispatch must be absorbed by the engine's retry
+//! ladder, and the pool must remain fully usable afterwards.
+//!
+//! This is deliberately a single `#[test]` in its own binary: the armed
+//! countdown is process-global and decrements on *every* pool task, so it
+//! must not share a process with unrelated concurrently-running tests.
+
+use learning_everywhere::{HybridConfig, HybridEngine, QuerySource, Simulator};
+
+/// A simulator whose work is a 16-wide pool fan-out — the surface the
+/// armed worker panic fires on.
+struct PoolFanout;
+
+impl Simulator for PoolFanout {
+    fn input_dim(&self) -> usize {
+        1
+    }
+    fn output_dim(&self) -> usize {
+        1
+    }
+    fn simulate(&self, x: &[f64], seed: u64) -> learning_everywhere::Result<Vec<f64>> {
+        let parts = le_pool::par_map_index(16, |i| x[0] + (i as f64) * 1e-3 + seed as f64 * 1e-9);
+        Ok(vec![parts.iter().sum::<f64>() / 16.0])
+    }
+    fn name(&self) -> &str {
+        "pool-fanout"
+    }
+}
+
+#[test]
+fn injected_worker_panic_is_retried_and_pool_stays_usable() {
+    let snap_before = le_obs::snapshot();
+    let panics_before = snap_before.counter("faults.injected.worker_panic").unwrap_or(0);
+    let respawn_before = snap_before.counter("pool.task_respawn").unwrap_or(0);
+
+    let mut engine = HybridEngine::new(
+        PoolFanout,
+        HybridConfig {
+            min_training_runs: 64, // no retrain in this test
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+
+    // Arm: the 6th pool task panics — inside the first query's dispatch.
+    le_pool::fault::arm_worker_panic(5);
+    assert!(le_pool::fault::armed());
+    let r = engine.query(&[0.5]).expect("retry absorbs the worker panic");
+    assert_eq!(r.source, QuerySource::Simulated);
+    assert!(r.output[0].is_finite());
+    assert!(!le_pool::fault::armed(), "the injection disarms after firing");
+    assert_eq!(engine.supervisor().retries(), 1, "exactly one respawn attempt");
+
+    // The pool is fully reusable: further engine queries and direct
+    // dispatches complete normally.
+    for q in 0..4 {
+        let r = engine.query(&[q as f64 * 0.1]).expect("pool survives the panic");
+        assert!(r.output[0].is_finite());
+    }
+    let direct = le_pool::par_map_index(64, |i| i as f64);
+    assert_eq!(direct.len(), 64);
+    assert!((direct[63] - 63.0).abs() < 1e-12);
+
+    // The injection and the respawn were both counted.
+    let snap = le_obs::snapshot();
+    assert_eq!(
+        snap.counter("faults.injected.worker_panic").unwrap_or(0),
+        panics_before + 1
+    );
+    assert_eq!(snap.counter("pool.task_respawn").unwrap_or(0), respawn_before + 1);
+
+    // Arming and disarming without firing leaves no residue.
+    le_pool::fault::arm_worker_panic(1_000_000);
+    le_pool::fault::disarm();
+    assert!(!le_pool::fault::armed());
+    let ok = le_pool::par_map_index(8, |i| i as f64 * 2.0);
+    assert_eq!(ok.len(), 8);
+}
