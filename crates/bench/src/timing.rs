@@ -137,6 +137,43 @@ impl Harness {
         median
     }
 
+    /// Record an externally timed measurement — e.g. an interleaved A/B
+    /// comparison the bench binary drives itself with fixed iteration
+    /// counts — so it lands in the printed table, the observability
+    /// registry, and the `--json` document next to [`Harness::bench`]
+    /// entries. `per_round` holds one seconds-per-iteration sample per
+    /// round; median/min/max follow the same convention as `bench`.
+    /// Returns the median (0.0 for an empty sample set, which records
+    /// nothing).
+    pub fn record(&self, name: &str, per_round: &[f64], iters: usize) -> f64 {
+        if per_round.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = per_round.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let span = le_obs::global().span(&format!("bench.{name}"));
+        for &s in &sorted {
+            span.record_ns((s * iters as f64 * 1e9) as u64);
+        }
+        println!(
+            "{name:<48} {} ({} … {}) × {iters} iters/round",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max)
+        );
+        self.recorded.borrow_mut().push(Measurement {
+            name: name.to_string(),
+            median_s: median,
+            min_s: min,
+            max_s: max,
+            iters,
+        });
+        median
+    }
+
     /// Measurements recorded so far, in `bench` call order.
     pub fn measurements(&self) -> Vec<Measurement> {
         self.recorded.borrow().clone()
@@ -270,6 +307,21 @@ mod tests {
         assert_eq!(ms[0].name, "a");
         assert_eq!(ms[1].name, "b");
         assert!(ms.iter().all(|m| m.min_s <= m.median_s && m.median_s <= m.max_s));
+    }
+
+    #[test]
+    fn record_reports_median_of_rounds() {
+        let h = Harness::with_samples(1);
+        let med = h.record("ext/ab", &[3.0e-6, 1.0e-6, 2.0e-6], 100);
+        assert_eq!(med, 2.0e-6);
+        let ms = h.measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].name, "ext/ab");
+        assert_eq!(ms[0].min_s, 1.0e-6);
+        assert_eq!(ms[0].max_s, 3.0e-6);
+        assert_eq!(ms[0].iters, 100);
+        assert_eq!(h.record("ext/empty", &[], 1), 0.0);
+        assert_eq!(h.measurements().len(), 1, "empty sample set records nothing");
     }
 
     #[test]

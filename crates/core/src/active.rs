@@ -212,12 +212,23 @@ pub struct ActiveOutcome {
     pub curve: Vec<CurvePoint>,
 }
 
-/// Pooled RMSE of a surrogate on a labelled validation set.
+/// Pooled RMSE of a surrogate on a labelled validation set. The dropout
+/// backend scores the whole set with one fused batch evaluation (bit-
+/// identical to per-point prediction); the ensemble backend stays
+/// per-point.
 pub fn validation_rmse(surrogate: &FittedSurrogate, val_x: &[Vec<f64>], val_y: &[Vec<f64>]) -> f64 {
+    let preds: Vec<Vec<f64>> = match surrogate {
+        FittedSurrogate::Dropout(s) => {
+            s.predict_batch(val_x).expect("validated dims") // lint:allow(no-panic): dims validated at loop entry
+        }
+        FittedSurrogate::Ensemble(_) => val_x
+            .iter()
+            .map(|x| surrogate.predict(x).expect("validated dims")) // lint:allow(no-panic): dims validated at loop entry
+            .collect(),
+    };
     let mut ss = 0.0;
     let mut n = 0usize;
-    for (x, y) in val_x.iter().zip(val_y.iter()) {
-        let p = surrogate.predict(x).expect("validated dims"); // lint:allow(no-panic): dims validated at loop entry
+    for (p, y) in preds.iter().zip(val_y.iter()) {
         for (&pi, &yi) in p.iter().zip(y.iter()) {
             ss += (pi - yi) * (pi - yi);
             n += 1;

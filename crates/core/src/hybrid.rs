@@ -90,6 +90,10 @@ pub struct HybridEngine<S: Simulator> {
     n_lookups: u64,
     n_simulations: u64,
     failed_retrains: u64,
+    /// Bumped every time a freshly trained surrogate is installed; the
+    /// batched query path uses it to invalidate gate predictions cached
+    /// from a superseded model (see `query_rows`).
+    surrogate_generation: u64,
     supervisor: Supervisor,
 }
 
@@ -133,6 +137,7 @@ impl<S: Simulator> HybridEngine<S> {
             n_lookups: 0,
             n_simulations: 0,
             failed_retrains: 0,
+            surrogate_generation: 0,
             supervisor: Supervisor::new(supervision)?,
         })
     }
@@ -185,64 +190,151 @@ impl<S: Simulator> HybridEngine<S> {
         Ok(())
     }
 
-    /// Answer a query through the UQ gate.
+    /// Answer a query through the UQ gate — a batch of one (see
+    /// [`HybridEngine::query_batch`] for the batching/determinism
+    /// contract).
     pub fn query(&mut self, input: &[f64]) -> Result<QueryResult> {
-        if input.len() != self.simulator.input_dim() {
-            return Err(LeError::InvalidConfig(format!(
-                "expected {} inputs, got {}",
-                self.simulator.input_dim(),
-                input.len()
-            )));
+        let mut results = self.query_rows(&[input])?;
+        Ok(results.pop().expect("one row in, one result out")) // lint:allow(no-panic): query_rows returns exactly one result per input row
+    }
+
+    /// Answer a whole batch of queries through the UQ gate with **one
+    /// fused MC-dropout evaluation per wave** instead of one surrogate
+    /// pass per query.
+    ///
+    /// Rows are processed strictly in index order and the result is
+    /// **bit-identical** to issuing the same inputs through sequential
+    /// [`HybridEngine::query`] calls: the surrogate draws its dropout
+    /// masks from stateless per-consult substreams (row `r` of a wave
+    /// consumes the same consult ordinal it would consume sequentially),
+    /// and every per-row side effect — admit/reject accounting, lookup and
+    /// simulation counters, supervisor anomaly reporting, retrain
+    /// triggers, and the per-row `hybrid.query` trace root — fires in the
+    /// same order with the same values. Only wall-clock attribution
+    /// differs: the fused gate evaluation is timed once per wave and
+    /// amortized uniformly over the wave's admitted rows.
+    ///
+    /// A *wave* is the maximal run of rows gated by one surrogate
+    /// snapshot: a mid-batch retrain (a rejected row's simulation can
+    /// trigger one) or a supervisor trust flip invalidates the cached
+    /// predictions, and the next trusted row starts a new wave against the
+    /// fresh surrogate — exactly what sequential queries would see. If a
+    /// row's simulation exhausts its retry budget the error is returned
+    /// immediately (earlier rows' side effects stand, as they would
+    /// sequentially).
+    pub fn query_batch(&mut self, inputs: &[Vec<f64>]) -> Result<Vec<QueryResult>> {
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        self.query_rows(&refs)
+    }
+
+    /// Shared row-slice implementation behind [`HybridEngine::query`] and
+    /// [`HybridEngine::query_batch`].
+    fn query_rows(&mut self, inputs: &[&[f64]]) -> Result<Vec<QueryResult>> {
+        for input in inputs {
+            if input.len() != self.simulator.input_dim() {
+                return Err(LeError::InvalidConfig(format!(
+                    "expected {} inputs, got {}",
+                    self.simulator.input_dim(),
+                    input.len()
+                )));
+            }
         }
-        // Each query is one causal trace: every phase span below — and
-        // every pool task the simulator or trainer dispatches — carries
-        // this root's trace_id (see le-obs's trace module).
-        let _trace = le_obs::trace_root!("hybrid.query");
-        // Gate on the surrogate's uncertainty — but only while the
-        // supervisor trusts it (a quarantined or degraded surrogate is
-        // never consulted). The span records only when the gate admits the
-        // query, mirroring the accounting: a rejected prediction's cost
-        // belongs to the simulation that follows. A non-finite prediction
-        // or std — or a predict-time model error or panic — is a gate
-        // anomaly: counted, reported to the supervisor, and answered by
-        // falling through to the simulator rather than failing the query.
-        let mut gate_std = None;
-        if self.supervisor.trusts_surrogate() {
-            if let Some(surrogate) = self.surrogate.as_mut() {
-                let _t = le_obs::trace_span!("hybrid.lookup");
-                let sp = le_obs::timed_span!("hybrid.lookup");
-                match catch_unwind(AssertUnwindSafe(|| surrogate.predict_with_uncertainty(input)))
-                {
-                    Ok(Ok(pred)) => {
-                        let finite = pred.mean.iter().all(|v| v.is_finite())
-                            && pred.std.iter().all(|v| v.is_finite());
-                        if finite {
-                            self.supervisor.note_gate_ok();
-                            let std = pred.max_std();
-                            gate_std = Some(std);
-                            if std < self.config.uncertainty_threshold {
-                                self.accounting.record_lookup(sp.finish_secs());
-                                self.n_lookups += 1;
-                                le_obs::counter!("hybrid.lookups").inc();
-                                return Ok(QueryResult {
-                                    output: pred.mean,
-                                    source: QuerySource::Lookup,
-                                    gate_std,
-                                });
-                            }
-                        } else {
-                            le_obs::counter!("gate.nonfinite").inc();
+        // The cached gate predictions for the current wave: filled by one
+        // fused evaluation over all remaining rows, consumed per row, and
+        // dropped as soon as the surrogate that produced it is replaced
+        // (generation bump) — a stale prediction is never served.
+        struct Wave {
+            preds: Vec<le_uq::Prediction>,
+            base: usize,
+            generation: u64,
+            per_row_secs: f64,
+        }
+        let mut wave: Option<Wave> = None;
+        let mut results = Vec::with_capacity(inputs.len());
+        for (i, input) in inputs.iter().enumerate() {
+            // Each row is one causal trace: every phase span below — and
+            // every pool task the simulator or trainer dispatches — carries
+            // this root's trace_id (see le-obs's trace module). The fused
+            // gate evaluation nests under the root of the row that starts
+            // the wave.
+            let _trace = le_obs::trace_root!("hybrid.query");
+            // Gate on the surrogate's uncertainty — but only while the
+            // supervisor trusts it (a quarantined or degraded surrogate is
+            // never consulted). A non-finite prediction or std — or an
+            // evaluate-time model error or panic — is a gate anomaly:
+            // counted, reported to the supervisor, and answered by falling
+            // through to the simulator rather than failing the query.
+            let mut gate_std = None;
+            let mut served = None;
+            if self.supervisor.trusts_surrogate() && self.surrogate.is_some() {
+                let stale = wave
+                    .as_ref()
+                    .map_or(true, |w| w.generation != self.surrogate_generation);
+                if stale {
+                    wave = None;
+                    let _t = le_obs::trace_span!("hybrid.lookup");
+                    // Timed with a bare stopwatch, NOT a timed_span: the
+                    // `hybrid.lookup` span must mirror the accounting (one
+                    // record per *admitted* lookup — the conformance suite
+                    // pins this), so the fused cost is recorded below,
+                    // amortized, as each admitted row consumes its share.
+                    let sw = le_obs::Stopwatch::start();
+                    let remaining = &inputs[i..];
+                    let surrogate = self
+                        .surrogate
+                        .as_mut()
+                        .expect("checked is_some above"); // lint:allow(no-panic): guarded by the is_some() check above
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        surrogate.predict_with_uncertainty_rows(remaining)
+                    })) {
+                        Ok(Ok(preds)) => {
+                            wave = Some(Wave {
+                                preds,
+                                base: i,
+                                generation: self.surrogate_generation,
+                                per_row_secs: sw.elapsed_secs() / remaining.len() as f64,
+                            });
+                        }
+                        Ok(Err(_)) | Err(_) => {
+                            le_obs::counter!("gate.model_error").inc();
                             self.supervisor.note_gate_anomaly();
                         }
                     }
-                    Ok(Err(_)) | Err(_) => {
-                        le_obs::counter!("gate.model_error").inc();
+                }
+                if let Some(w) = wave.as_ref() {
+                    let pred = &w.preds[i - w.base];
+                    let finite = pred.mean.iter().all(|v| v.is_finite())
+                        && pred.std.iter().all(|v| v.is_finite());
+                    if finite {
+                        self.supervisor.note_gate_ok();
+                        let std = pred.max_std();
+                        gate_std = Some(std);
+                        if std < self.config.uncertainty_threshold {
+                            self.accounting.record_lookup(w.per_row_secs);
+                            le_obs::global()
+                                .span("hybrid.lookup")
+                                .record_ns((w.per_row_secs * 1e9) as u64);
+                            self.n_lookups += 1;
+                            le_obs::counter!("hybrid.lookups").inc();
+                            served = Some(QueryResult {
+                                output: pred.mean.clone(),
+                                source: QuerySource::Lookup,
+                                gate_std,
+                            });
+                        }
+                    } else {
+                        le_obs::counter!("gate.nonfinite").inc();
                         self.supervisor.note_gate_anomaly();
                     }
                 }
             }
+            let result = match served {
+                Some(r) => r,
+                None => self.simulate_supervised(input, gate_std)?,
+            };
+            results.push(result);
         }
-        self.simulate_supervised(input, gate_std)
+        Ok(results)
     }
 
     /// Run the simulator with the supervisor's retry budget: each failed,
@@ -389,6 +481,7 @@ impl<S: Simulator> HybridEngine<S> {
             Ok(surrogate) => {
                 self.accounting.record_learning(sp.finish_secs());
                 self.surrogate = Some(surrogate);
+                self.surrogate_generation = self.surrogate_generation.wrapping_add(1);
                 self.runs_at_last_fit = n;
                 self.supervisor.note_retrain_success();
                 Ok(())
@@ -438,10 +531,11 @@ impl<S: Simulator> HybridEngine<S> {
             .surrogate
             .as_mut()
             .ok_or_else(|| LeError::InsufficientData("no trained surrogate".into()))?;
-        // Score every validation point: (gate std, actual max error).
+        // Score every validation point with one fused MC-dropout
+        // evaluation: (gate std, actual max error).
+        let preds = surrogate.predict_with_uncertainty_batch(val_x)?;
         let mut scored: Vec<(f64, f64)> = Vec::with_capacity(val_x.len());
-        for (x, y) in val_x.iter().zip(val_y.iter()) {
-            let pred = surrogate.predict_with_uncertainty(x)?;
+        for (pred, y) in preds.iter().zip(val_y.iter()) {
             let err = pred
                 .mean
                 .iter()

@@ -1,9 +1,21 @@
 //! [`NnSurrogate`] — the learned stand-in for a simulator: input/output
 //! standardization + an MLP with dropout + MC-dropout uncertainty, all in
 //! the simulator's native units.
+//!
+//! All inference rides the arena-backed batch engine
+//! ([`le_nn::BatchScratch`]): point predictions reuse one flat scratch (no
+//! per-query `Matrix` or `Vec` churn after warm-up), and MC-dropout
+//! uncertainty runs all `mc_samples` passes for all queried rows as one
+//! fused GEMM batch. Dropout masks come from stateless per-consult
+//! substreams — consult `i` draws from `Rng::substream(mask_seed, i)` — so
+//! a batched uncertainty query over B rows is bit-identical to B
+//! sequential single-row queries (see `le_nn::batch` for the canonical
+//! mask order and the full determinism contract).
+
+use std::cell::RefCell;
 
 use le_linalg::{Matrix, Rng};
-use le_nn::{Mlp, MlpConfig, Optimizer, Scaler, TrainConfig, Trainer};
+use le_nn::{BatchScratch, Mlp, MlpConfig, Optimizer, Scaler, TrainConfig, Trainer};
 use le_uq::{Prediction, UncertainModel};
 
 use crate::{LeError, Result};
@@ -38,16 +50,35 @@ impl Default for SurrogateConfig {
     }
 }
 
-/// A trained surrogate: scalers + MLP + an RNG for MC-dropout sampling.
+/// Reusable flat staging buffers for scaling inputs/outputs around the
+/// batch engine. Lives behind a `RefCell` so `&self` point predictions can
+/// reuse it without reallocating.
+#[derive(Debug, Clone, Default)]
+struct Stage {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+/// A trained surrogate: scalers + MLP + the fused batch engine and the
+/// stateless MC-dropout mask-stream seed.
 #[derive(Debug, Clone)]
 pub struct NnSurrogate {
     net: Mlp,
     x_scaler: Scaler,
     y_scaler: Scaler,
     mc_samples: usize,
-    mc_rng: Rng,
+    /// Seed of the stateless mask-substream family; consult `i` draws its
+    /// dropout masks from `Rng::substream(mask_seed, i)`.
+    mask_seed: u64,
+    /// Next unconsumed consult ordinal; advanced by B on every successful
+    /// B-row uncertainty evaluation (point predictions draw no masks).
+    mc_ordinal: u64,
     in_dim: usize,
     out_dim: usize,
+    scratch: RefCell<BatchScratch>,
+    stage: RefCell<Stage>,
 }
 
 impl NnSurrogate {
@@ -86,14 +117,18 @@ impl NnSurrogate {
         })
         .fit(&mut net, &xs, &ys)
         .map_err(|e| LeError::Model(e.to_string()))?;
+        let scratch = RefCell::new(BatchScratch::new(&net));
         Ok(Self {
             net,
             x_scaler,
             y_scaler,
             mc_samples: config.mc_samples.max(2),
-            mc_rng: rng.split(),
+            mask_seed: rng.split().next_u64(),
+            mc_ordinal: 0,
             in_dim: x.cols(),
             out_dim: y.cols(),
+            scratch,
+            stage: RefCell::new(Stage::default()),
         })
     }
 
@@ -107,71 +142,189 @@ impl NnSurrogate {
         self.out_dim
     }
 
-    /// Deterministic point prediction in natural units.
-    pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>> {
-        if input.len() != self.in_dim {
+    /// The trained network (weights in natural `(in, out)` layout per
+    /// layer). Exposed read-only so harnesses can reconstruct reference
+    /// implementations — e.g. the surrogate-batch bench replays the
+    /// pre-batch-engine per-query path against the same parameters.
+    pub fn model(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// The fitted input standardizer (see [`NnSurrogate::model`]).
+    pub fn x_scaler(&self) -> &Scaler {
+        &self.x_scaler
+    }
+
+    /// The fitted output standardizer (see [`NnSurrogate::model`]).
+    pub fn y_scaler(&self) -> &Scaler {
+        &self.y_scaler
+    }
+
+    /// Number of stochastic passes per uncertainty evaluation.
+    pub fn mc_samples(&self) -> usize {
+        self.mc_samples
+    }
+
+    /// Stage `inputs` as one flat scaled batch in `stage.x`. Validates every
+    /// row's width first so nothing is consumed on a dimension error.
+    fn stage_scaled_inputs(&self, inputs: &[&[f64]]) -> Result<()> {
+        for row in inputs {
+            if row.len() != self.in_dim {
+                return Err(LeError::InvalidConfig(format!(
+                    "expected {} inputs, got {}",
+                    self.in_dim,
+                    row.len()
+                )));
+            }
+        }
+        let mut stage = self.stage.borrow_mut();
+        stage.x.clear();
+        for row in inputs {
+            stage.x.extend_from_slice(row);
+        }
+        for chunk in stage.x.chunks_exact_mut(self.in_dim) {
+            self.x_scaler
+                .transform_slice(chunk)
+                .map_err(|e| LeError::Model(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Deterministic point prediction written into `out` (length
+    /// `output_dim`), natural units. This is the allocation-free primitive
+    /// behind [`NnSurrogate::predict`]: after warm-up the staging buffers
+    /// and the engine arenas are reused, so a point prediction allocates
+    /// nothing.
+    pub fn predict_into(&self, input: &[f64], out: &mut [f64]) -> Result<()> {
+        if out.len() != self.out_dim {
             return Err(LeError::InvalidConfig(format!(
-                "expected {} inputs, got {}",
-                self.in_dim,
-                input.len()
+                "expected {} outputs, got {}",
+                self.out_dim,
+                out.len()
             )));
         }
-        let mut x = input.to_vec();
-        self.x_scaler
-            .transform_slice(&mut x)
-            .map_err(|e| LeError::Model(e.to_string()))?;
-        let mut y = self
-            .net
-            .predict_one(&x)
+        self.stage_scaled_inputs(&[input])?;
+        let stage = self.stage.borrow();
+        self.scratch
+            .borrow_mut()
+            .forward_into(&stage.x, 1, out)
             .map_err(|e| LeError::Model(e.to_string()))?;
         self.y_scaler
-            .inverse_transform_slice(&mut y)
+            .inverse_transform_slice(out)
             .map_err(|e| LeError::Model(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Deterministic point prediction in natural units.
+    pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>> {
+        let mut y = vec![0.0; self.out_dim];
+        self.predict_into(input, &mut y)?;
         Ok(y)
     }
 
-    /// MC-dropout prediction with per-output mean and std, natural units.
-    pub fn predict_with_uncertainty(&mut self, input: &[f64]) -> Result<Prediction> {
-        if input.len() != self.in_dim {
+    /// Deterministic point predictions for a flat row-major `(rows,
+    /// input_dim)` batch, written into the flat `(rows, output_dim)` `out`
+    /// slice with one batched engine pass. Allocation-free after warm-up.
+    pub fn predict_batch_into(&self, x: &[f64], rows: usize, out: &mut [f64]) -> Result<()> {
+        if x.len() != rows * self.in_dim || out.len() != rows * self.out_dim {
             return Err(LeError::InvalidConfig(format!(
-                "expected {} inputs, got {}",
+                "batch shape mismatch: x {} vs rows {} × {}, out {} vs rows × {}",
+                x.len(),
+                rows,
                 self.in_dim,
-                input.len()
+                out.len(),
+                self.out_dim
             )));
         }
-        let mut x = input.to_vec();
-        self.x_scaler
-            .transform_slice(&mut x)
-            .map_err(|e| LeError::Model(e.to_string()))?;
-        let xm = Matrix::from_vec(1, self.in_dim, x).map_err(|e| LeError::Model(e.to_string()))?;
-        let n = self.mc_samples;
-        let mut sums = vec![0.0; self.out_dim];
-        let mut sq = vec![0.0; self.out_dim];
-        for _ in 0..n {
-            let y = self
-                .net
-                .predict_mc(&xm, &mut self.mc_rng)
+        let mut stage = self.stage.borrow_mut();
+        stage.x.clear();
+        stage.x.extend_from_slice(x);
+        for chunk in stage.x.chunks_exact_mut(self.in_dim) {
+            self.x_scaler
+                .transform_slice(chunk)
                 .map_err(|e| LeError::Model(e.to_string()))?;
-            for (k, &v) in y.row(0).iter().enumerate() {
-                sums[k] += v;
-                sq[k] += v * v;
-            }
         }
-        let nf = n as f64;
-        let mut mean: Vec<f64> = sums.iter().map(|&s| s / nf).collect();
-        let mut std: Vec<f64> = sq
-            .iter()
-            .zip(mean.iter())
-            .map(|(&s, &m)| (((s - nf * m * m) / (nf - 1.0)).max(0.0)).sqrt())
-            .collect();
-        // Back to natural units: mean affine, std multiplicative.
-        self.y_scaler
-            .inverse_transform_slice(&mut mean)
+        self.scratch
+            .borrow_mut()
+            .forward_into(&stage.x, rows, out)
             .map_err(|e| LeError::Model(e.to_string()))?;
-        for (k, s) in std.iter_mut().enumerate() {
-            *s = self.y_scaler.inverse_scale_std(k, *s);
+        for chunk in out.chunks_exact_mut(self.out_dim) {
+            self.y_scaler
+                .inverse_transform_slice(chunk)
+                .map_err(|e| LeError::Model(e.to_string()))?;
         }
-        Ok(Prediction { mean, std })
+        Ok(())
+    }
+
+    /// Deterministic point predictions for many inputs with one batched
+    /// engine pass; row `r` of the result is bit-identical to
+    /// `predict(&inputs[r])`.
+    pub fn predict_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        self.stage_scaled_inputs(&refs)?;
+        let rows = inputs.len();
+        let mut stage = self.stage.borrow_mut();
+        let Stage { x, y, .. } = &mut *stage;
+        y.resize(rows * self.out_dim, 0.0);
+        self.scratch
+            .borrow_mut()
+            .forward_into(x, rows, y)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        for chunk in y.chunks_exact_mut(self.out_dim) {
+            self.y_scaler
+                .inverse_transform_slice(chunk)
+                .map_err(|e| LeError::Model(e.to_string()))?;
+        }
+        Ok(y.chunks_exact(self.out_dim).map(|c| c.to_vec()).collect())
+    }
+
+    /// MC-dropout prediction with per-output mean and std, natural units.
+    /// A batch of one: consumes one consult ordinal.
+    pub fn predict_with_uncertainty(&mut self, input: &[f64]) -> Result<Prediction> {
+        let mut preds = self.predict_with_uncertainty_rows(&[input])?;
+        Ok(preds.pop().expect("one row in, one prediction out")) // lint:allow(no-panic): rows len 1 is checked by construction
+    }
+
+    /// Fused MC-dropout predictions for a whole batch: all `mc_samples`
+    /// passes for all rows run as one `(K·B, ·)` GEMM batch. Row `r`
+    /// consumes consult ordinal `mc_ordinal + r`, so the result is
+    /// bit-identical to B sequential [`NnSurrogate::predict_with_uncertainty`]
+    /// calls; the ordinal counter commits only after a successful
+    /// evaluation (a failed or panicked evaluation consumes nothing).
+    pub fn predict_with_uncertainty_batch(&mut self, inputs: &[Vec<f64>]) -> Result<Vec<Prediction>> {
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        self.predict_with_uncertainty_rows(&refs)
+    }
+
+    /// Shared fused-UQ path over borrowed rows (see
+    /// [`NnSurrogate::predict_with_uncertainty_batch`]).
+    pub fn predict_with_uncertainty_rows(&mut self, inputs: &[&[f64]]) -> Result<Vec<Prediction>> {
+        self.stage_scaled_inputs(inputs)?;
+        let rows = inputs.len();
+        let mut stage = self.stage.borrow_mut();
+        let Stage { x, mean, std, .. } = &mut *stage;
+        mean.resize(rows * self.out_dim, 0.0);
+        std.resize(rows * self.out_dim, 0.0);
+        self.scratch
+            .borrow_mut()
+            .mc_predict_into(x, rows, self.mc_samples, self.mask_seed, self.mc_ordinal, mean, std)
+            .map_err(|e| LeError::Model(e.to_string()))?;
+        self.mc_ordinal = self.mc_ordinal.wrapping_add(rows as u64);
+        // Back to natural units: mean affine, std multiplicative.
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut m = mean[r * self.out_dim..(r + 1) * self.out_dim].to_vec();
+            self.y_scaler
+                .inverse_transform_slice(&mut m)
+                .map_err(|e| LeError::Model(e.to_string()))?;
+            let s: Vec<f64> = std[r * self.out_dim..(r + 1) * self.out_dim]
+                .iter()
+                .enumerate()
+                .map(|(k, &v)| self.y_scaler.inverse_scale_std(k, v))
+                .collect();
+            out.push(Prediction { mean: m, std: s });
+        }
+        Ok(out)
     }
 }
 
@@ -229,14 +382,18 @@ impl NnSurrogate {
                 out_dim
             )));
         }
+        let scratch = RefCell::new(BatchScratch::new(&net));
         Ok(Self {
             net,
             x_scaler,
             y_scaler,
             mc_samples: mc_samples.max(2),
-            mc_rng: Rng::new(seed),
+            mask_seed: seed,
+            mc_ordinal: 0,
             in_dim,
             out_dim,
+            scratch,
+            stage: RefCell::new(Stage::default()),
         })
     }
 

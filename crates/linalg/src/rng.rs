@@ -81,6 +81,20 @@ impl Rng {
         }
     }
 
+    /// The `ordinal`-th independent substream of `seed`, derived statelessly:
+    /// `Rng::substream(s, i)` always denotes the same generator, no matter
+    /// how many other substreams were drawn before it. This is the anchor of
+    /// the batch engines' determinism contract — consumer `i` of a seed gets
+    /// stream `i` whether the consumers run one at a time or fused into one
+    /// batched call. The ordinal is spread by the SplitMix64 golden-gamma
+    /// multiply before seeding, so adjacent ordinals land in well-separated
+    /// states.
+    pub fn substream(seed: u64, ordinal: u64) -> Rng {
+        let mut sm =
+            SplitMix64::new(seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Rng::new(sm.next_u64())
+    }
+
     /// Derive an independent child generator. Parallel code should split one
     /// child per task *before* distributing work so results do not depend on
     /// scheduling.

@@ -247,6 +247,17 @@ mod tests {
     }
 
     #[test]
+    fn determinism_audit_covers_the_batch_engine() {
+        // The fused MC-dropout batch engine (`le_nn::batch`) promises
+        // bit-identical output at any pool width; that promise is only
+        // credible while the L4 determinism audit scans its crate. Pin
+        // le-nn (and the pool it fans out over) in the audited set so a
+        // future edit cannot silently drop the coverage.
+        assert!(SIM_KERNEL_CRATES.contains(&"le-nn"));
+        assert!(SIM_KERNEL_CRATES.contains(&"le-pool"));
+    }
+
+    #[test]
     fn in_tree_name_check() {
         let members: BTreeSet<String> = ["le-linalg".to_string()].into_iter().collect();
         assert!(is_in_tree_name("le-linalg", &members));

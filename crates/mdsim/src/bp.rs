@@ -563,22 +563,33 @@ mod tests {
         let (_, reference, pot, _) = quick_training();
         let mut rng = Rng::new(85);
         let pos = random_cluster(12, 1.0, 1.3, &mut rng);
-        // Warm up then time both.
+        // Warm up then time both. The debug-mode margin is thin, so the two
+        // arms are interleaved per round (a scheduler stall lands on both)
+        // and the gate is the median per-round ratio, not one mean that a
+        // single load spike can sink — same scheme as the pipeline test in
+        // tests/bp_potential_pipeline.rs.
         let _ = reference.energy(&pos);
         let _ = pot.energy(&pos);
-        let t0 = std::time::Instant::now();
-        for _ in 0..5 {
-            let _ = reference.energy(&pos);
+        let (rounds, reps) = (5, 4);
+        let mut ratios = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                let _ = reference.energy(&pos);
+            }
+            let t_ref = t0.elapsed().as_secs_f64() / reps as f64;
+            let t1 = std::time::Instant::now();
+            for _ in 0..reps {
+                let _ = pot.energy(&pos);
+            }
+            let t_nn = t1.elapsed().as_secs_f64() / reps as f64;
+            ratios.push(t_ref / t_nn);
         }
-        let t_ref = t0.elapsed().as_secs_f64() / 5.0;
-        let t1 = std::time::Instant::now();
-        for _ in 0..5 {
-            let _ = pot.energy(&pos);
-        }
-        let t_nn = t1.elapsed().as_secs_f64() / 5.0;
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let median = ratios[ratios.len() / 2];
         assert!(
-            t_nn < t_ref,
-            "NN ({t_nn}s) should beat reference ({t_ref}s) per evaluation"
+            median > 1.0,
+            "NN should beat the reference: median reference/NN ratio {median:.2} (rounds: {ratios:?})"
         );
     }
 }

@@ -17,8 +17,10 @@
 //!   potential of mean force: an MLP is trained on `r → −ln g(r)` sampled
 //!   from the explicit simulation, then drives a solvent-free simulation.
 
+use std::cell::RefCell;
+
 use le_linalg::{Matrix, Rng};
-use le_nn::{Mlp, MlpConfig, Scaler, TrainConfig, Trainer};
+use le_nn::{BatchScratch, Mlp, MlpConfig, Scaler, TrainConfig, Trainer};
 
 use crate::forces::ForceField;
 use crate::system::SlabBox;
@@ -363,6 +365,10 @@ pub fn pmf_from_rdf(rdf: &Rdf, min_count: u64) -> Vec<(f64, f64)> {
 #[derive(Debug, Clone)]
 pub struct PmfPotential {
     net: Mlp,
+    /// Preallocated batch-engine arena: the PMF sits in the pair loop of a
+    /// solvent-free simulation, so evaluation reuses these buffers instead
+    /// of building per-layer matrices on every call.
+    scratch: RefCell<BatchScratch>,
     x_scaler: Scaler,
     y_scaler: Scaler,
     /// Validity range of the fit; outside it the PMF is extrapolated flat.
@@ -402,6 +408,7 @@ impl PmfPotential {
         let r_min = samples.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
         let r_max = samples.iter().map(|s| s.0).fold(0.0f64, f64::max);
         Ok(Self {
+            scratch: RefCell::new(BatchScratch::new(&net)),
             net,
             x_scaler,
             y_scaler,
@@ -409,24 +416,55 @@ impl PmfPotential {
         })
     }
 
+    /// The underlying fitted network (the batch engine holds a snapshot of
+    /// its weights).
+    pub fn model(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// PMF values at many separations (each clamped to the fitted range),
+    /// evaluated as one fused batch through the preallocated engine.
+    pub fn energy_batch(&self, rs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            rs.iter()
+                .map(|&r| r.clamp(self.r_range.0, self.r_range.1)),
+        );
+        for v in out.iter_mut() {
+            let mut one = [*v];
+            self.x_scaler.transform_slice(&mut one).expect("1 col"); // lint:allow(no-panic): scaler fitted on one column
+            *v = one[0];
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let x = std::mem::take(out);
+        out.resize(rs.len(), 0.0);
+        scratch
+            .forward_into(&x, rs.len(), out)
+            .expect("1 in 1 out"); // lint:allow(no-panic): net built 1-in/1-out
+        for v in out.iter_mut() {
+            let mut one = [*v];
+            self.y_scaler.inverse_transform_slice(&mut one).expect("1 col"); // lint:allow(no-panic): scaler fitted on one column
+            *v = one[0];
+        }
+    }
+
     /// PMF value at separation r (clamped to the fitted range).
     pub fn energy(&self, r: f64) -> f64 {
-        let rc = r.clamp(self.r_range.0, self.r_range.1);
-        let mut x = [rc];
-        self.x_scaler.transform_slice(&mut x).expect("1 col"); // lint:allow(no-panic): scaler fitted on one column
-        let y = self.net.predict_one(&x).expect("1 in 1 out"); // lint:allow(no-panic): net built 1-in/1-out
-        let mut out = [y[0]];
-        self.y_scaler.inverse_transform_slice(&mut out).expect("1 col"); // lint:allow(no-panic): scaler fitted on one column
+        let mut out = Vec::with_capacity(1);
+        self.energy_batch(std::slice::from_ref(&r), &mut out);
         out[0]
     }
 
     /// Radial force −dPMF/dr via central difference (zero outside range).
+    /// Both stencil points ride one fused batch evaluation.
     pub fn force(&self, r: f64) -> f64 {
         if r <= self.r_range.0 || r >= self.r_range.1 {
             return 0.0;
         }
         let eps = 1e-4;
-        -(self.energy(r + eps) - self.energy(r - eps)) / (2.0 * eps)
+        let mut out = Vec::with_capacity(2);
+        self.energy_batch(&[r + eps, r - eps], &mut out);
+        -(out[0] - out[1]) / (2.0 * eps)
     }
 }
 

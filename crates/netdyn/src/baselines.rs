@@ -5,8 +5,10 @@
 //! incidence)". Their county forecast is necessarily a uniform split of the
 //! state forecast.
 
+use std::cell::RefCell;
+
 use le_linalg::{solve, Matrix, Rng};
-use le_nn::{Mlp, MlpConfig, Scaler, TrainConfig, Trainer};
+use le_nn::{BatchScratch, Mlp, MlpConfig, Scaler, TrainConfig, Trainer};
 
 use crate::{NetError, Result};
 
@@ -86,6 +88,8 @@ impl ArModel {
 #[derive(Debug, Clone)]
 pub struct DataOnlyMlp {
     net: Mlp,
+    /// Preallocated batch-engine arena reused across `forecast` calls.
+    scratch: RefCell<BatchScratch>,
     x_scaler: Scaler,
     y_scaler: Scaler,
     /// Input window length.
@@ -132,11 +136,18 @@ impl DataOnlyMlp {
         .fit(&mut net, &xs, &ys)
         .map_err(|e| NetError::Internal(e.to_string()))?;
         Ok(Self {
+            scratch: RefCell::new(BatchScratch::new(&net)),
             net,
             x_scaler,
             y_scaler,
             window,
         })
+    }
+
+    /// The underlying fitted network (the batch engine holds a snapshot of
+    /// its weights).
+    pub fn model(&self) -> &Mlp {
+        &self.net
     }
 
     /// One-step-ahead state forecast.
@@ -152,11 +163,11 @@ impl DataOnlyMlp {
         self.x_scaler
             .transform_slice(&mut x)
             .map_err(|e| NetError::Internal(e.to_string()))?;
-        let y = self
-            .net
-            .predict_one(&x)
+        let mut out = [0.0];
+        self.scratch
+            .borrow_mut()
+            .forward_into(&x, 1, &mut out)
             .map_err(|e| NetError::Internal(e.to_string()))?;
-        let mut out = [y[0]];
         self.y_scaler
             .inverse_transform_slice(&mut out)
             .map_err(|e| NetError::Internal(e.to_string()))?;

@@ -1,0 +1,517 @@
+//! Batch-first, arena-backed inference engine for [`Mlp`] networks.
+//!
+//! The per-sample path (`Mlp::predict_one`, K separate `predict_mc` calls)
+//! allocates a fresh `Matrix` per layer per call and never hands the blocked
+//! GEMM a matrix taller than one row. [`BatchScratch`] fixes both: it
+//! snapshots the network's weights in their natural `(in, out)` layout —
+//! exactly what the register-tiled [`le_linalg::matrix::gemm_rm_into`]
+//! kernel streams — and owns flat, contiguous activation arenas that are
+//! reused across calls, so after warm-up a forward pass — batched or
+//! single-row — allocates nothing and transposes nothing.
+//!
+//! # Fused MC-dropout
+//!
+//! [`BatchScratch::mc_predict_into`] evaluates all `K` stochastic passes for
+//! all `B` input rows in one fused `(K·B, width)` batch per layer, so every
+//! layer rides the blocked parallel GEMM instead of `K·B` row-vector
+//! matvecs. Because no dropout precedes the first dense layer, its output is
+//! identical across the `K` passes of a row; the engine therefore runs the
+//! first layer on the `B` distinct rows only and replicates its activations
+//! into the `(K·B, ·)` arena afterwards — bit-identical to evaluating the
+//! replicated input, at 1/K of the first layer's cost.
+//!
+//! # Determinism contract (canonical mask order)
+//!
+//! Dropout masks are **not** drawn from a shared stateful generator — that
+//! would make results depend on how queries are grouped into batches.
+//! Instead every input row is assigned a *consult ordinal* by the caller and
+//! draws its masks from the stateless substream
+//! [`le_linalg::Rng::substream`]`(mask_seed, ordinal)`. Within one row's
+//! stream the draw order is canonical:
+//!
+//! 1. per stochastic pass `p` in `0..K`,
+//! 2. per dropout layer in network order,
+//! 3. per unit, row-major (ascending unit index),
+//!
+//! and layers with dropout rate 0 draw nothing (they are identity under
+//! inverted dropout). A mask value is `1/keep` with probability
+//! `keep = 1 - rate` and `0.0` otherwise — exactly the inverted-dropout
+//! convention of [`crate::layer::Dropout`]. Consequences:
+//!
+//! * a batch of `B` rows at ordinals `o..o+B` is **bit-identical** to `B`
+//!   single-row calls at those ordinals — batching is unobservable;
+//! * masks are drawn sequentially and the GEMM kernel is bit-identical
+//!   between its sequential and pool-parallel paths, so results do not
+//!   depend on `LE_POOL_THREADS`;
+//! * the mean/std reduction runs per row in ascending-pass order, off the
+//!   parallel path, so it is exact replication territory too.
+//!
+//! The engine snapshots weights at construction; callers that mutate or
+//! replace the model must rebuild the scratch (see [`BatchScratch::new`]).
+
+use le_linalg::matrix::gemm_rm_into;
+use le_linalg::{Matrix, Rng};
+
+use crate::layer::Activation;
+use crate::model::Mlp;
+use crate::{NnError, Result};
+
+/// Arena-backed batch engine: natural-layout weight snapshot plus reusable
+/// flat activation/mask/accumulator buffers.
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    /// Per layer: weights in natural `(in_dim, out_dim)` layout — the `b`
+    /// operand of the register-tiled GEMM kernel.
+    w: Vec<Matrix>,
+    /// Per layer: bias, length `out_dim`.
+    bias: Vec<Vec<f64>>,
+    /// Per layer: activation applied after the affine map.
+    act: Vec<Activation>,
+    /// Per hidden layer `i` (`i + 1 < n_layers`): dropout rate.
+    drop_rate: Vec<f64>,
+    /// Layer widths `[input, hidden…, output]`.
+    dims: Vec<usize>,
+    // Ping-pong activation arenas (flat, row-major).
+    cur: Vec<f64>,
+    nxt: Vec<f64>,
+    /// Per dropout layer: flat `(rows, width)` mask arena.
+    masks: Vec<Vec<f64>>,
+    /// Flat `(K·B, out_dim)` MC sample arena for the fused pass.
+    mc_out: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Snapshot `model`'s weights (natural layout, GEMM-ready) and set up
+    /// empty arenas. Call again whenever the model's parameters change —
+    /// the scratch holds copies, not references.
+    pub fn new(model: &Mlp) -> Self {
+        let layers = model.layers();
+        let w: Vec<Matrix> = layers.iter().map(|d| d.w.clone()).collect();
+        let bias: Vec<Vec<f64>> = layers.iter().map(|d| d.b.clone()).collect();
+        let act: Vec<Activation> = layers.iter().map(|d| d.activation).collect();
+        let drop_rate: Vec<f64> = model.dropout.iter().map(|d| d.rate).collect();
+        let dims = model.config().layers.clone();
+        let n_drop = drop_rate.len();
+        Self {
+            w,
+            bias,
+            act,
+            drop_rate,
+            dims,
+            cur: Vec::new(),
+            nxt: Vec::new(),
+            masks: vec![Vec::new(); n_drop],
+            mc_out: Vec::new(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.dims[self.dims.len() - 1]
+    }
+
+    fn check_io(&self, x_len: usize, rows: usize, out_len: usize, passes: usize) -> Result<()> {
+        if x_len != rows * self.in_dim() {
+            return Err(NnError::Shape(format!(
+                "batch input length {} != rows {} × in_dim {}",
+                x_len,
+                rows,
+                self.in_dim()
+            )));
+        }
+        if out_len != rows * passes * self.out_dim() {
+            return Err(NnError::Shape(format!(
+                "batch output length {} != rows {} × passes {} × out_dim {}",
+                out_len,
+                rows,
+                passes,
+                self.out_dim()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Bias add + activation over `(·, n)` rows of `dst`, branching on the
+    /// activation **once** so the per-element loop is straight-line code
+    /// the compiler can vectorize — dispatching `Activation::apply` per
+    /// element would keep the hermetic tanh polynomial scalar and costs
+    /// ~3× on the tanh-heavy hidden layers.
+    fn bias_act(dst: &mut [f64], n: usize, bias: &[f64], act: Activation) {
+        match act {
+            Activation::Tanh => {
+                for row in dst.chunks_exact_mut(n) {
+                    for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                        *v = crate::math::tanh(*v + b);
+                    }
+                }
+            }
+            Activation::Identity => {
+                for row in dst.chunks_exact_mut(n) {
+                    for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                        *v += b;
+                    }
+                }
+            }
+            other => {
+                for row in dst.chunks_exact_mut(n) {
+                    for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                        *v = other.apply(*v + b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Affine map + activation for layer `l` over `m` rows of `src`,
+    /// written into `dst` (resized to `m × dims[l+1]`).
+    fn dense_layer(src: &[f64], dst: &mut Vec<f64>, w: &Matrix, bias: &[f64], act: Activation, m: usize, k: usize) -> Result<()> {
+        let n = w.cols();
+        dst.resize(m * n, 0.0);
+        gemm_rm_into(src, m, k, w, dst)
+            .map_err(|e| NnError::Shape(e.to_string()))?;
+        Self::bias_act(dst, n, bias, act);
+        Ok(())
+    }
+
+    /// Deterministic batch forward (dropout off): `x` is a flat row-major
+    /// `(rows, in_dim)` slice, `out` a flat `(rows, out_dim)` slice. Writes
+    /// results bit-identical to [`Mlp::predict`] on the same rows; after
+    /// warm-up no allocation happens.
+    pub fn forward_into(&mut self, x: &[f64], rows: usize, out: &mut [f64]) -> Result<()> {
+        self.check_io(x.len(), rows, out.len(), 1)?;
+        let n_layers = self.w.len();
+        self.cur.clear();
+        self.cur.extend_from_slice(x);
+        for l in 0..n_layers {
+            let (m, k) = (rows, self.dims[l]);
+            if l + 1 == n_layers {
+                // Final layer writes straight into the caller's buffer.
+                gemm_rm_into(&self.cur[..m * k], m, k, &self.w[l], out)
+                    .map_err(|e| NnError::Shape(e.to_string()))?;
+                Self::bias_act(out, self.dims[l + 1], &self.bias[l], self.act[l]);
+            } else {
+                Self::dense_layer(
+                    &self.cur[..m * k],
+                    &mut self.nxt,
+                    &self.w[l],
+                    &self.bias[l],
+                    self.act[l],
+                    m,
+                    k,
+                )?;
+                std::mem::swap(&mut self.cur, &mut self.nxt);
+            }
+        }
+        Ok(())
+    }
+
+    /// Draw the fused mask arenas for `rows` inputs × `passes` passes, in
+    /// the canonical order documented at module level: one substream per
+    /// row (`Rng::substream(mask_seed, first_ordinal + r)`), then per pass,
+    /// per dropout layer, per unit. Rate-0 layers draw nothing and keep an
+    /// empty arena.
+    fn draw_masks(&mut self, rows: usize, passes: usize, mask_seed: u64, first_ordinal: u64) {
+        let total = rows * passes;
+        for (l, &rate) in self.drop_rate.iter().enumerate() {
+            if rate > 0.0 {
+                self.masks[l].resize(total * self.dims[l + 1], 0.0);
+            } else {
+                self.masks[l].clear();
+            }
+        }
+        for r in 0..rows {
+            let mut rng = Rng::substream(mask_seed, first_ordinal.wrapping_add(r as u64));
+            for p in 0..passes {
+                let fused_row = r * passes + p;
+                for (l, &rate) in self.drop_rate.iter().enumerate() {
+                    if rate <= 0.0 {
+                        continue;
+                    }
+                    let keep = 1.0 - rate;
+                    let scale = 1.0 / keep;
+                    let width = self.dims[l + 1];
+                    let row = &mut self.masks[l][fused_row * width..(fused_row + 1) * width];
+                    for m in row.iter_mut() {
+                        *m = if rng.bernoulli(keep) { scale } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fused MC-dropout forward: all `passes` stochastic passes for all
+    /// `rows` inputs in one batched evaluation. `out` receives the flat
+    /// `(rows × passes, out_dim)` samples with row layout
+    /// `fused_row = r * passes + p` (the `passes` samples of input `r` are
+    /// contiguous). Masks come from the per-row substreams of
+    /// `(mask_seed, first_ordinal + r)` — see the module docs for the
+    /// determinism contract.
+    pub fn mc_forward_into(
+        &mut self,
+        x: &[f64],
+        rows: usize,
+        passes: usize,
+        mask_seed: u64,
+        first_ordinal: u64,
+        out: &mut [f64],
+    ) -> Result<()> {
+        self.check_io(x.len(), rows, out.len(), passes)?;
+        if passes == 0 {
+            return Err(NnError::Shape("mc pass count must be ≥ 1".into()));
+        }
+        let n_layers = self.w.len();
+        if n_layers == 1 {
+            // No hidden layers → no dropout: every pass is the plain
+            // deterministic forward. Compute each row once and replicate.
+            let od = self.out_dim();
+            self.mc_out.resize(rows * od, 0.0);
+            let mut det = std::mem::take(&mut self.mc_out);
+            self.forward_into(x, rows, &mut det)?;
+            for r in 0..rows {
+                for p in 0..passes {
+                    let dst = (r * passes + p) * od;
+                    out[dst..dst + od].copy_from_slice(&det[r * od..(r + 1) * od]);
+                }
+            }
+            self.mc_out = det;
+            return Ok(());
+        }
+        self.draw_masks(rows, passes, mask_seed, first_ordinal);
+        // First hidden layer on the B distinct rows only (no dropout
+        // upstream of it, so its activations are pass-invariant)…
+        Self::dense_layer(x, &mut self.nxt, &self.w[0], &self.bias[0], self.act[0], rows, self.dims[0])?;
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+        // …then replicate each row's activations `passes` times into the
+        // fused arena.
+        let total = rows * passes;
+        let w1 = self.dims[1];
+        self.nxt.resize(total * w1, 0.0);
+        for r in 0..rows {
+            let src = &self.cur[r * w1..(r + 1) * w1];
+            for p in 0..passes {
+                let dst = (r * passes + p) * w1;
+                self.nxt[dst..dst + w1].copy_from_slice(src);
+            }
+        }
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+        // Remaining layers run fused over (K·B) rows, each preceded by its
+        // dropout mask.
+        for l in 1..n_layers {
+            // Apply dropout `l-1` (after hidden layer `l-1`'s activation).
+            let rate = self.drop_rate[l - 1];
+            if rate > 0.0 {
+                let width = self.dims[l];
+                for (v, &m) in self.cur[..total * width]
+                    .iter_mut()
+                    .zip(self.masks[l - 1].iter())
+                {
+                    *v *= m;
+                }
+            }
+            let (m, k) = (total, self.dims[l]);
+            if l + 1 == n_layers {
+                gemm_rm_into(&self.cur[..m * k], m, k, &self.w[l], out)
+                    .map_err(|e| NnError::Shape(e.to_string()))?;
+                Self::bias_act(out, self.dims[l + 1], &self.bias[l], self.act[l]);
+            } else {
+                Self::dense_layer(
+                    &self.cur[..m * k],
+                    &mut self.nxt,
+                    &self.w[l],
+                    &self.bias[l],
+                    self.act[l],
+                    m,
+                    k,
+                )?;
+                std::mem::swap(&mut self.cur, &mut self.nxt);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused MC-dropout mean/std: runs [`BatchScratch::mc_forward_into`]
+    /// into the internal sample arena, then reduces per row with the
+    /// two-pass Bessel-corrected estimator (mean first, then
+    /// `√(Σ(v−m)²/(K−1))`), accumulating passes in ascending order so the
+    /// reduction replicates bit-for-bit at any pool width. `mean` and `std`
+    /// are flat `(rows, out_dim)` slices.
+    pub fn mc_predict_into(
+        &mut self,
+        x: &[f64],
+        rows: usize,
+        passes: usize,
+        mask_seed: u64,
+        first_ordinal: u64,
+        mean: &mut [f64],
+        std: &mut [f64],
+    ) -> Result<()> {
+        let od = self.out_dim();
+        if mean.len() != rows * od || std.len() != rows * od {
+            return Err(NnError::Shape(format!(
+                "mean/std length {}/{} != rows {} × out_dim {}",
+                mean.len(),
+                std.len(),
+                rows,
+                od
+            )));
+        }
+        if passes < 2 {
+            return Err(NnError::Shape("mc std needs ≥ 2 passes".into()));
+        }
+        let mut samples = std::mem::take(&mut self.mc_out);
+        samples.resize(rows * passes * od, 0.0);
+        let res = self.mc_forward_into(x, rows, passes, mask_seed, first_ordinal, &mut samples);
+        if let Err(e) = res {
+            self.mc_out = samples;
+            return Err(e);
+        }
+        let nf = passes as f64;
+        for r in 0..rows {
+            let base = r * passes * od;
+            let m_row = &mut mean[r * od..(r + 1) * od];
+            m_row.fill(0.0);
+            for p in 0..passes {
+                let s_row = &samples[base + p * od..base + (p + 1) * od];
+                for (m, &v) in m_row.iter_mut().zip(s_row.iter()) {
+                    *m += v;
+                }
+            }
+            for m in m_row.iter_mut() {
+                *m /= nf;
+            }
+            let s_out = &mut std[r * od..(r + 1) * od];
+            s_out.fill(0.0);
+            for p in 0..passes {
+                let s_row = &samples[base + p * od..base + (p + 1) * od];
+                for ((s, &v), &m) in s_out.iter_mut().zip(s_row.iter()).zip(mean[r * od..(r + 1) * od].iter()) {
+                    *s += (v - m) * (v - m);
+                }
+            }
+            for s in s_out.iter_mut() {
+                *s = (*s / (nf - 1.0)).sqrt();
+            }
+        }
+        self.mc_out = samples;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MlpConfig;
+
+    fn net(widths: &[usize], dropout: f64, seed: u64) -> Mlp {
+        let mut rng = Rng::new(seed);
+        Mlp::new(MlpConfig::regression_with_dropout(widths, dropout), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn forward_matches_predict_bitwise() {
+        let model = net(&[3, 17, 9, 2], 0.0, 41);
+        let mut scratch = BatchScratch::new(&model);
+        let rows = 5;
+        let x: Vec<f64> = (0..rows * 3).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut out = vec![0.0; rows * 2];
+        scratch.forward_into(&x, rows, &mut out).unwrap();
+        let xm = Matrix::from_vec(rows, 3, x.clone()).unwrap();
+        let want = model.predict(&xm).unwrap();
+        assert_eq!(out, want.as_slice().to_vec(), "engine must replicate Mlp::predict bitwise");
+    }
+
+    #[test]
+    fn single_row_matches_predict_one_bitwise() {
+        let model = net(&[4, 33, 1], 0.1, 42);
+        let mut scratch = BatchScratch::new(&model);
+        let x = [0.2, -0.4, 0.9, 0.01];
+        let mut out = [0.0; 1];
+        scratch.forward_into(&x, 1, &mut out).unwrap();
+        assert_eq!(out.to_vec(), model.predict_one(&x).unwrap());
+    }
+
+    #[test]
+    fn batch_of_b_equals_b_batches_of_one() {
+        // The determinism contract: fused evaluation at ordinals o..o+B is
+        // bit-identical to B single-row evaluations at those ordinals.
+        let model = net(&[2, 24, 24, 3], 0.3, 43);
+        let mut fused = BatchScratch::new(&model);
+        let mut single = BatchScratch::new(&model);
+        let rows = 6;
+        let k = 9;
+        let x: Vec<f64> = (0..rows * 2).map(|i| (i as f64 * 0.11).cos()).collect();
+        let (seed, first) = (0xFEED, 7u64);
+        let mut mean_b = vec![0.0; rows * 3];
+        let mut std_b = vec![0.0; rows * 3];
+        fused
+            .mc_predict_into(&x, rows, k, seed, first, &mut mean_b, &mut std_b)
+            .unwrap();
+        for r in 0..rows {
+            let mut mean_1 = vec![0.0; 3];
+            let mut std_1 = vec![0.0; 3];
+            single
+                .mc_predict_into(&x[r * 2..(r + 1) * 2], 1, k, seed, first + r as u64, &mut mean_1, &mut std_1)
+                .unwrap();
+            assert_eq!(mean_1, mean_b[r * 3..(r + 1) * 3].to_vec(), "row {r} mean");
+            assert_eq!(std_1, std_b[r * 3..(r + 1) * 3].to_vec(), "row {r} std");
+        }
+    }
+
+    #[test]
+    fn fused_pass_is_replicable() {
+        let model = net(&[3, 16, 1], 0.2, 44);
+        let mut s1 = BatchScratch::new(&model);
+        let mut s2 = BatchScratch::new(&model);
+        let x = [0.5, -0.5, 0.25, 1.0, 0.0, -1.0];
+        let mut a = vec![0.0; 2 * 4 * 1];
+        let mut b = vec![0.0; 2 * 4 * 1];
+        s1.mc_forward_into(&x, 2, 4, 99, 0, &mut a).unwrap();
+        s2.mc_forward_into(&x, 2, 4, 99, 0, &mut b).unwrap();
+        assert_eq!(a, b);
+        // And reuse of the same scratch replicates too (arena hygiene).
+        let mut c = vec![0.0; 2 * 4 * 1];
+        s1.mc_forward_into(&x, 2, 4, 99, 0, &mut c).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn zero_dropout_fused_std_is_zero() {
+        let model = net(&[2, 8, 1], 0.0, 45);
+        let mut scratch = BatchScratch::new(&model);
+        let x = [0.3, 0.7];
+        let mut mean = [0.0; 1];
+        let mut std = [0.0; 1];
+        scratch.mc_predict_into(&x, 1, 20, 1, 0, &mut mean, &mut std).unwrap();
+        assert!(std[0] < 1e-12, "no dropout ⇒ zero spread, got {}", std[0]);
+    }
+
+    #[test]
+    fn no_hidden_layer_net_is_deterministic() {
+        let model = net(&[3, 2], 0.0, 46);
+        let mut scratch = BatchScratch::new(&model);
+        let x = [0.1, 0.2, 0.3];
+        let mut out = vec![0.0; 5 * 2];
+        scratch.mc_forward_into(&x, 1, 5, 7, 0, &mut out).unwrap();
+        let point = model.predict_one(&x).unwrap();
+        for p in 0..5 {
+            assert_eq!(out[p * 2..(p + 1) * 2].to_vec(), point, "pass {p}");
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let model = net(&[3, 4, 2], 0.1, 47);
+        let mut scratch = BatchScratch::new(&model);
+        let mut out = vec![0.0; 2];
+        assert!(scratch.forward_into(&[0.0; 5], 1, &mut out).is_err());
+        assert!(scratch.forward_into(&[0.0; 3], 1, &mut [0.0; 3]).is_err());
+        let (mut mean, mut std) = ([0.0; 2], [0.0; 2]);
+        assert!(scratch
+            .mc_predict_into(&[0.0; 3], 1, 1, 0, 0, &mut mean, &mut std)
+            .is_err(), "passes < 2 must be rejected");
+    }
+}

@@ -37,7 +37,10 @@ impl Activation {
                     0.01 * x
                 }
             }
-            Activation::Tanh => x.tanh(),
+            // Hermetic rational tanh (not libm): bit-stable across hosts
+            // and vectorizable inside the batch engine's activation loop;
+            // max error vs libm is 2.6e-8 — see [`crate::math::tanh`].
+            Activation::Tanh => crate::math::tanh(x),
             Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
             Activation::Identity => x,
         }

@@ -24,14 +24,17 @@
 //! Determinism: every stochastic element (init, shuffling, dropout masks)
 //! is driven by an explicit [`le_linalg::Rng`].
 
+pub mod batch;
 pub mod layer;
 pub mod loss;
+pub mod math;
 pub mod model;
 pub mod optimizer;
 pub mod scaler;
 pub mod serialize;
 pub mod train;
 
+pub use batch::BatchScratch;
 pub use layer::Activation;
 pub use loss::Loss;
 pub use model::{Mlp, MlpConfig};

@@ -9,8 +9,10 @@
 //! detail for a ~`fine_steps`-fold reduction in inner-loop work; E9
 //! measures both sides of that trade.
 
+use std::cell::RefCell;
+
 use le_linalg::{Matrix, Rng};
-use le_nn::{Mlp, MlpConfig, Scaler, TrainConfig, Trainer};
+use le_nn::{BatchScratch, Mlp, MlpConfig, Scaler, TrainConfig, Trainer};
 
 use crate::diffusion::DiffusionSolver;
 use crate::field::Field;
@@ -21,6 +23,10 @@ use crate::{Result, TissueError};
 #[derive(Debug, Clone)]
 pub struct TransportSurrogate {
     net: Mlp,
+    /// Preallocated batch-engine arena: `advance` is the tissue model's
+    /// inner loop, so evaluation reuses these buffers instead of building
+    /// per-layer matrices on every call.
+    scratch: RefCell<BatchScratch>,
     x_scaler: Scaler,
     y_scaler: Scaler,
     /// Fine lattice width/height.
@@ -147,6 +153,7 @@ impl TransportSurrogate {
         .fit(&mut net, &xs, &ys)
         .map_err(|e| TissueError::Model(e.to_string()))?;
         Ok(Self {
+            scratch: RefCell::new(BatchScratch::new(&net)),
             net,
             x_scaler,
             y_scaler,
@@ -261,6 +268,7 @@ impl TransportSurrogate {
         .fit(&mut net, &xs, &ys)
         .map_err(|e| TissueError::Model(e.to_string()))?;
         Ok(Self {
+            scratch: RefCell::new(BatchScratch::new(&net)),
             net,
             x_scaler,
             y_scaler,
@@ -290,9 +298,10 @@ impl TransportSurrogate {
         self.x_scaler
             .transform_slice(&mut x)
             .map_err(|e| TissueError::Model(e.to_string()))?;
-        let mut pred = self
-            .net
-            .predict_one(&x)
+        let mut pred = vec![0.0; self.net.out_dim()];
+        self.scratch
+            .borrow_mut()
+            .forward_into(&x, 1, &mut pred)
             .map_err(|e| TissueError::Model(e.to_string()))?;
         self.y_scaler
             .inverse_transform_slice(&mut pred)

@@ -2,9 +2,16 @@
 //! form a sample distribution of predictions to be used as a UQ metric"
 //! (§III-B). A trained dropout network is sampled `n_samples` times with
 //! dropout *kept on*; the sample mean/std form the predictive distribution.
+//!
+//! All stochastic evaluation rides the fused batch engine
+//! ([`le_nn::BatchScratch`]): the `n_samples` passes for every queried row
+//! run as one `(K·B, ·)` GEMM batch, and dropout masks come from stateless
+//! per-row substreams (`Rng::substream(seed, ordinal)`), so predicting a
+//! batch of B rows is bit-identical to B single-row predictions — see the
+//! determinism contract in `le_nn::batch`.
 
-use le_linalg::{Matrix, Rng};
-use le_nn::Mlp;
+use le_linalg::Matrix;
+use le_nn::{BatchScratch, Mlp};
 
 use crate::{Prediction, UncertainModel};
 
@@ -14,17 +21,26 @@ pub struct McDropout {
     model: Mlp,
     /// Number of stochastic forward passes per prediction.
     pub n_samples: usize,
-    rng: Rng,
+    /// Stateless mask-stream seed: row `i` of consult `ordinal` draws from
+    /// `Rng::substream(mask_seed, ordinal + i)`.
+    mask_seed: u64,
+    /// Next unconsumed substream ordinal; a prediction over B rows
+    /// consumes B ordinals.
+    ordinal: u64,
+    scratch: BatchScratch,
 }
 
 impl McDropout {
     /// Wrap a trained model. `n_samples` is clamped to at least 2 (a std
     /// needs two points); 30–100 is typical.
     pub fn new(model: Mlp, n_samples: usize, seed: u64) -> Self {
+        let scratch = BatchScratch::new(&model);
         Self {
             model,
             n_samples: n_samples.max(2),
-            rng: Rng::new(seed),
+            mask_seed: seed,
+            ordinal: 0,
+            scratch,
         }
     }
 
@@ -34,54 +50,48 @@ impl McDropout {
     }
 
     /// Replace the wrapped model (after retraining in the active loop).
+    /// Rebuilds the batch engine's weight snapshot.
     pub fn set_model(&mut self, model: Mlp) {
+        self.scratch = BatchScratch::new(&model);
         self.model = model;
     }
 
     /// Raw MC samples for one input: an `(n_samples, out_dim)` matrix.
+    /// Consumes one mask-stream ordinal.
     pub fn sample(&mut self, x: &[f64]) -> Matrix {
-        let xm = Matrix::from_vec(1, x.len(), x.to_vec()).expect("1-row input"); // lint:allow(no-panic): 1-row matrix from a slice always succeeds
         let out_dim = self.model.out_dim();
         let mut samples = Matrix::zeros(self.n_samples, out_dim);
-        for i in 0..self.n_samples {
-            let y = self
-                .model
-                .predict_mc(&xm, &mut self.rng)
-                .expect("shape checked by caller"); // lint:allow(no-panic): public entry validates the shape
-            samples.row_mut(i).copy_from_slice(y.row(0));
-        }
+        self.scratch
+            .mc_forward_into(x, 1, self.n_samples, self.mask_seed, self.ordinal, samples.as_mut_slice())
+            .expect("shape checked by caller"); // lint:allow(no-panic): public entry validates the shape
+        self.ordinal = self.ordinal.wrapping_add(1);
         samples
     }
 
-    /// Predict mean/std for a whole batch at once (rows of `x`).
+    /// Predict mean/std for a whole batch at once (rows of `x`) with one
+    /// fused evaluation; row `r` consumes ordinal `ordinal + r`, so the
+    /// result is bit-identical to `x.rows()` single-row predictions.
     pub fn predict_batch(&mut self, x: &Matrix) -> Vec<Prediction> {
+        let rows = x.rows();
         let out_dim = self.model.out_dim();
-        let mut sums = vec![vec![0.0; out_dim]; x.rows()];
-        let mut sq_sums = vec![vec![0.0; out_dim]; x.rows()];
-        for _ in 0..self.n_samples {
-            let y = self
-                .model
-                .predict_mc(x, &mut self.rng)
-                .expect("shape checked by caller"); // lint:allow(no-panic): public entry validates the shape
-            for r in 0..x.rows() {
-                for (c, &v) in y.row(r).iter().enumerate() {
-                    sums[r][c] += v;
-                    sq_sums[r][c] += v * v;
-                }
-            }
-        }
-        let n = self.n_samples as f64;
-        (0..x.rows())
-            .map(|r| {
-                let mean: Vec<f64> = sums[r].iter().map(|&s| s / n).collect();
-                let std: Vec<f64> = sq_sums[r]
-                    .iter()
-                    .zip(mean.iter())
-                    // Sample variance with Bessel correction, floored at 0
-                    // against rounding.
-                    .map(|(&sq, &m)| (((sq - n * m * m) / (n - 1.0)).max(0.0)).sqrt())
-                    .collect();
-                Prediction { mean, std }
+        let mut mean = vec![0.0; rows * out_dim];
+        let mut std = vec![0.0; rows * out_dim];
+        self.scratch
+            .mc_predict_into(
+                x.as_slice(),
+                rows,
+                self.n_samples,
+                self.mask_seed,
+                self.ordinal,
+                &mut mean,
+                &mut std,
+            )
+            .expect("shape checked by caller"); // lint:allow(no-panic): public entry validates the shape
+        self.ordinal = self.ordinal.wrapping_add(rows as u64);
+        (0..rows)
+            .map(|r| Prediction {
+                mean: mean[r * out_dim..(r + 1) * out_dim].to_vec(),
+                std: std[r * out_dim..(r + 1) * out_dim].to_vec(),
             })
             .collect()
     }
@@ -89,27 +99,13 @@ impl McDropout {
 
 impl UncertainModel for McDropout {
     fn predict_with_uncertainty(&mut self, x: &[f64]) -> Prediction {
-        let samples = self.sample(x);
-        let n = samples.rows() as f64;
-        let out_dim = samples.cols();
+        let out_dim = self.model.out_dim();
         let mut mean = vec![0.0; out_dim];
-        for r in 0..samples.rows() {
-            for (m, &v) in mean.iter_mut().zip(samples.row(r).iter()) {
-                *m += v;
-            }
-        }
-        for m in &mut mean {
-            *m /= n;
-        }
         let mut std = vec![0.0; out_dim];
-        for r in 0..samples.rows() {
-            for ((s, &v), &m) in std.iter_mut().zip(samples.row(r).iter()).zip(mean.iter()) {
-                *s += (v - m) * (v - m);
-            }
-        }
-        for s in &mut std {
-            *s = (*s / (n - 1.0)).sqrt();
-        }
+        self.scratch
+            .mc_predict_into(x, 1, self.n_samples, self.mask_seed, self.ordinal, &mut mean, &mut std)
+            .expect("shape checked by caller"); // lint:allow(no-panic): public entry validates the shape
+        self.ordinal = self.ordinal.wrapping_add(1);
         Prediction { mean, std }
     }
 
@@ -125,6 +121,7 @@ impl UncertainModel for McDropout {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use le_linalg::Rng;
     use le_nn::{MlpConfig, TrainConfig, Trainer};
 
     fn trained_dropout_net(seed: u64, dropout: f64) -> Mlp {
@@ -199,17 +196,30 @@ mod tests {
     }
 
     #[test]
-    fn batch_prediction_matches_single() {
+    fn batch_prediction_is_bitwise_identical_to_singles() {
+        // The fused path's contract: same seed, same ordinals ⇒ a batch of
+        // B is *bit-identical* to B sequential single predictions (the old
+        // statistical-tolerance check is obsolete).
         let model = trained_dropout_net(25, 0.15);
-        // Use large sample counts; compare statistically.
-        let mut mc_a = McDropout::new(model.clone(), 400, 11);
-        let mut mc_b = McDropout::new(model, 400, 11);
-        let x = Matrix::from_rows(&[&[0.2, 0.4], &[-0.5, 0.1]]);
-        let batch = mc_b.predict_batch(&x);
-        let single0 = mc_a.predict_with_uncertainty(&[0.2, 0.4]);
-        assert!((batch[0].mean[0] - single0.mean[0]).abs() < 0.05);
-        assert!((batch[0].std[0] - single0.std[0]).abs() < 0.03);
-        assert_eq!(batch.len(), 2);
+        let mut mc_single = McDropout::new(model.clone(), 64, 11);
+        let mut mc_batch = McDropout::new(model, 64, 11);
+        let x = Matrix::from_rows(&[&[0.2, 0.4], &[-0.5, 0.1], &[0.9, -0.9]]);
+        let batch = mc_batch.predict_batch(&x);
+        assert_eq!(batch.len(), 3);
+        for (r, want) in batch.iter().enumerate() {
+            let got = mc_single.predict_with_uncertainty(x.row(r));
+            assert_eq!(got.mean, want.mean, "row {r} mean");
+            assert_eq!(got.std, want.std, "row {r} std");
+        }
+    }
+
+    #[test]
+    fn repeated_queries_use_fresh_ordinals() {
+        let model = trained_dropout_net(28, 0.2);
+        let mut mc = McDropout::new(model, 30, 14);
+        let a = mc.predict_with_uncertainty(&[0.1, 0.1]);
+        let b = mc.predict_with_uncertainty(&[0.1, 0.1]);
+        assert_ne!(a.mean, b.mean, "consecutive consults draw distinct mask streams");
     }
 
     #[test]

@@ -34,6 +34,47 @@ grep -q '"bench": "nn_potential"' results/BENCH_nn_potential.json
 grep -q '"spans"' results/OBS_bench_celllist.json
 grep -q '"spans"' results/OBS_bench_nn_potential.json
 
+# Batched-surrogate gate, part 1: the fused batch engine must beat the
+# frozen replica of the pre-batching single-lookup path by >= 5x per
+# lookup at batch 64 AND batch 256 on the E2 workload (the ISSUE
+# acceptance floor, "batch >= 64"). The gated ratios are medians of the
+# bench's interleaved A/B rounds, so scheduler noise hits both arms
+# alike. The --json run also writes results/BENCH_surrogate_batch.json,
+# which the obsctl diff below compares against the committed baseline.
+echo "==> surrogate batch bench: >=5x batched throughput at 64 and 256 (3 samples, json)"
+sb_out="$(cargo run -q --release --offline -p le-bench --bin surrogate_batch -- --samples 3 --json)"
+printf '%s\n' "$sb_out" | grep -E '^(frozen single|per-lookup|mc per-lookup|interleaved|single_vs|mc_single_vs)' || true
+for key in single_vs_batch64_ratio single_vs_batch256_ratio; do
+  sb_ratio="$(printf '%s\n' "$sb_out" | sed -n "s/^$key //p")"
+  [ -n "$sb_ratio" ] || { echo "surrogate_batch printed no $key" >&2; exit 1; }
+  awk "BEGIN { exit !($sb_ratio >= 5.0) }" || {
+    echo "batched surrogate speedup $key=${sb_ratio}x is below the 5x acceptance floor" >&2
+    exit 1
+  }
+done
+grep -q '"bench": "surrogate_batch"' results/BENCH_surrogate_batch.json
+
+# Batched-surrogate gate, part 2: the engine's determinism contract. The
+# bench's digest folds deterministic batch outputs and one fused MC-dropout
+# evaluation; it must be byte-identical at any LE_POOL_THREADS, and the
+# batched HybridEngine path must stay bit-identical to sequential queries
+# at the same pool widths (tests/surrogate_batch_equivalence.rs).
+echo "==> surrogate batch: digest invariance + query_batch equivalence at LE_POOL_THREADS=1/4/7"
+sb_digest=""
+for threads in 1 4 7; do
+  out="$(LE_POOL_THREADS=$threads cargo run -q --release --offline -p le-bench --bin surrogate_batch -- --samples 1 2>/dev/null)"
+  d="$(printf '%s\n' "$out" | sed -n 's/^digest //p')"
+  [ -n "$d" ] || { echo "surrogate_batch printed no digest at LE_POOL_THREADS=$threads" >&2; exit 1; }
+  if [ -z "$sb_digest" ]; then
+    sb_digest="$d"
+  elif [ "$d" != "$sb_digest" ]; then
+    echo "surrogate batch digest diverged: $sb_digest vs $d (LE_POOL_THREADS=$threads)" >&2
+    exit 1
+  fi
+  LE_POOL_THREADS=$threads cargo test -q --offline --test surrogate_batch_equivalence
+done
+echo "    digest $sb_digest at all thread counts"
+
 # Observability regression gate: regenerate the deterministic OBS snapshots
 # with a pinned pool, then diff them — plus the bench medians written just
 # above — against the committed reference copies in results/baselines/.

@@ -47,21 +47,30 @@ fn bp_potential_learns_and_accelerates_the_reference() {
     // Per-evaluation speedup: the NN must be faster even in an unoptimized
     // build, where its matmuls lose most of their advantage; the E6 bench
     // measures the release-mode factor (≫ 2x). The debug-mode margin is
-    // deliberately thin — see EXPERIMENTS.md "bp pipeline tolerance".
+    // deliberately thin — see EXPERIMENTS.md "bp pipeline tolerance" — so
+    // the two arms are timed interleaved (a scheduler stall lands on both)
+    // and the gate is the median of per-round ratios, not one mean that a
+    // single load spike can sink.
     let pos = random_cluster(16, reference.r0, 1.3, &mut rng);
-    let reps = 20;
-    let t0 = std::time::Instant::now();
-    for _ in 0..reps {
-        let _ = reference.energy(&pos);
+    let (rounds, reps) = (5, 4);
+    let mut ratios = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            let _ = reference.energy(&pos);
+        }
+        let t_ref = t0.elapsed().as_secs_f64() / reps as f64;
+        let t1 = std::time::Instant::now();
+        for _ in 0..reps {
+            let _ = pot.energy(&pos);
+        }
+        let t_nn = t1.elapsed().as_secs_f64() / reps as f64;
+        ratios.push(t_ref / t_nn);
     }
-    let t_ref = t0.elapsed().as_secs_f64() / reps as f64;
-    let t1 = std::time::Instant::now();
-    for _ in 0..reps {
-        let _ = pot.energy(&pos);
-    }
-    let t_nn = t1.elapsed().as_secs_f64() / reps as f64;
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
     assert!(
-        t_ref / t_nn > 1.1,
-        "NN should be faster: reference {t_ref:.2e}s vs NN {t_nn:.2e}s"
+        median > 1.1,
+        "NN should be faster: median reference/NN ratio {median:.2} (rounds: {ratios:?})"
     );
 }

@@ -1,0 +1,181 @@
+//! The batched query path's determinism contract: `query_batch` over N
+//! inputs is **bit-identical** to N sequential `query` calls — same
+//! outputs, same sources, same gate stds, same lookup/simulation counts,
+//! same accounting event counts, same supervisor state — including when a
+//! retrain fires in the middle of the batch and invalidates the wave.
+//!
+//! This holds by construction (stateless per-consult mask substreams; see
+//! the determinism contract in `le_nn::batch`), and this suite pins it at
+//! the engine's public surface.
+
+use le_linalg::Rng;
+use learning_everywhere::simulator::SyntheticSimulator;
+use learning_everywhere::surrogate::SurrogateConfig;
+use learning_everywhere::{HybridConfig, HybridEngine};
+
+/// A fresh engine over the deterministic synthetic simulator. The small
+/// `min_training_runs` and `retrain_growth` make retrains land *inside*
+/// the batches the tests below issue.
+fn engine(seed: u64) -> HybridEngine<SyntheticSimulator> {
+    HybridEngine::new(
+        SyntheticSimulator::new(2, 1, 20_000, 0.0),
+        HybridConfig {
+            uncertainty_threshold: 0.35,
+            min_training_runs: 16,
+            retrain_growth: 1.5,
+            surrogate: SurrogateConfig {
+                hidden: vec![16, 16],
+                epochs: 40,
+                mc_samples: 8,
+                dropout: 0.1,
+                seed,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("valid config")
+}
+
+fn inputs(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| vec![rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)])
+        .collect()
+}
+
+#[test]
+fn query_batch_is_bitwise_identical_to_sequential_queries() {
+    let xs = inputs(140, 77);
+
+    let mut sequential = engine(5);
+    let seq: Vec<_> = xs
+        .iter()
+        .map(|x| sequential.query(x).expect("synthetic sim cannot fail"))
+        .collect();
+
+    let mut batched = engine(5);
+    // One call covering the whole campaign: the first `min_training_runs`
+    // rows simulate and trigger the initial fit mid-batch, later retrains
+    // (growth 1.5) invalidate in-flight waves, and the admitted rows in
+    // between ride fused evaluations.
+    let bat = batched.query_batch(&xs).expect("synthetic sim cannot fail");
+
+    assert_eq!(seq.len(), bat.len());
+    for (q, (s, b)) in seq.iter().zip(bat.iter()).enumerate() {
+        assert_eq!(s.source, b.source, "query {q} source");
+        assert_eq!(
+            s.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "query {q} output bits"
+        );
+        assert_eq!(
+            s.gate_std.map(f64::to_bits),
+            b.gate_std.map(f64::to_bits),
+            "query {q} gate std bits"
+        );
+    }
+
+    // Counters and accounting *counts* are bitwise-equal (timings are
+    // wall-clock and amortized differently by design, so only event
+    // counts are compared).
+    assert_eq!(sequential.n_lookups(), batched.n_lookups(), "n_lookups");
+    assert_eq!(
+        sequential.n_simulations(),
+        batched.n_simulations(),
+        "n_simulations"
+    );
+    assert!(batched.n_lookups() > 0, "campaign must serve lookups");
+    assert!(
+        batched.n_simulations() >= 16,
+        "campaign must simulate the seed design"
+    );
+    assert_eq!(
+        sequential.accounting().n_train(),
+        batched.accounting().n_train(),
+        "accounting train events"
+    );
+    assert_eq!(
+        sequential.accounting().n_lookup(),
+        batched.accounting().n_lookup(),
+        "accounting lookup events"
+    );
+    assert_eq!(
+        sequential.accounting().learn_events(),
+        batched.accounting().learn_events(),
+        "accounting learn events (mid-batch retrains)"
+    );
+    assert!(
+        batched.accounting().learn_events() >= 2,
+        "a retrain must have fired inside the batch for this test to bite"
+    );
+    assert_eq!(
+        sequential.failed_retrains(),
+        batched.failed_retrains(),
+        "failed retrains"
+    );
+
+    // Supervisor trajectories match.
+    assert_eq!(
+        sequential.supervisor().state(),
+        batched.supervisor().state(),
+        "supervisor state"
+    );
+    assert_eq!(
+        sequential.supervisor().retries(),
+        batched.supervisor().retries(),
+        "supervisor retries"
+    );
+    assert_eq!(
+        sequential.supervisor().quarantines(),
+        batched.supervisor().quarantines(),
+        "supervisor quarantines"
+    );
+}
+
+#[test]
+fn splitting_a_batch_does_not_change_results() {
+    // Chunked batches ≡ one big batch ≡ singles: the wave machinery must
+    // be invisible at every split granularity.
+    let xs = inputs(96, 31);
+
+    let mut whole = engine(9);
+    let a = whole.query_batch(&xs).expect("synthetic sim cannot fail");
+
+    let mut chunked = engine(9);
+    let mut b = Vec::new();
+    for chunk in xs.chunks(13) {
+        b.extend(chunked.query_batch(chunk).expect("synthetic sim cannot fail"));
+    }
+
+    assert_eq!(a.len(), b.len());
+    for (q, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.source, y.source, "query {q} source");
+        assert_eq!(
+            x.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "query {q} output bits"
+        );
+    }
+    assert_eq!(whole.n_lookups(), chunked.n_lookups());
+    assert_eq!(whole.n_simulations(), chunked.n_simulations());
+}
+
+#[test]
+fn fused_uncertainty_evaluation_is_replicable() {
+    // Two engines with identical seeds answer an identical batch with
+    // bit-identical gate decisions — the fused MC-dropout pass draws its
+    // masks from stateless substreams, never from shared mutable state.
+    let xs = inputs(64, 123);
+    let mut a = engine(21);
+    let mut b = engine(21);
+    let ra = a.query_batch(&xs).expect("synthetic sim cannot fail");
+    let rb = b.query_batch(&xs).expect("synthetic sim cannot fail");
+    for (x, y) in ra.iter().zip(rb.iter()) {
+        assert_eq!(x.source, y.source);
+        assert_eq!(x.gate_std.map(f64::to_bits), y.gate_std.map(f64::to_bits));
+        assert_eq!(
+            x.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+}
