@@ -227,9 +227,39 @@ impl<S: Simulator> HybridEngine<S> {
         self.query_rows(&refs)
     }
 
+    /// Serving-path variant of [`HybridEngine::query_batch`]: per-row
+    /// results instead of all-or-nothing. A row whose simulation exhausts
+    /// its retry budget yields `Err` *for that row* and serving continues
+    /// with the next row — one poisoned request must not lose the whole
+    /// wave. Every side effect (gate consults, counters, supervisor
+    /// transitions, retrain triggers, seed-counter advances) fires in the
+    /// same order with the same values as sequential queries, so served
+    /// rows are bit-identical to the sequential/batched paths regardless
+    /// of where earlier rows failed.
+    ///
+    /// The outer `Result` only reports up-front validation (an input row
+    /// of the wrong dimension) — the serving layer screens dimensions at
+    /// admission, so a well-formed wave never sees it.
+    pub fn query_each(&mut self, inputs: &[&[f64]]) -> Result<Vec<Result<QueryResult>>> {
+        self.query_rows_inner(inputs, false)
+    }
+
     /// Shared row-slice implementation behind [`HybridEngine::query`] and
-    /// [`HybridEngine::query_batch`].
+    /// [`HybridEngine::query_batch`]: stop-at-first-error semantics.
     fn query_rows(&mut self, inputs: &[&[f64]]) -> Result<Vec<QueryResult>> {
+        // `stop_on_error` makes the first Err the last element, so
+        // collecting reproduces the historical behaviour exactly: earlier
+        // rows' side effects stand, the error surfaces, nothing after it
+        // runs.
+        self.query_rows_inner(inputs, true)?.into_iter().collect()
+    }
+
+    /// The gated wave loop behind both entry points.
+    fn query_rows_inner(
+        &mut self,
+        inputs: &[&[f64]],
+        stop_on_error: bool,
+    ) -> Result<Vec<Result<QueryResult>>> {
         for input in inputs {
             if input.len() != self.simulator.input_dim() {
                 return Err(LeError::InvalidConfig(format!(
@@ -329,10 +359,19 @@ impl<S: Simulator> HybridEngine<S> {
                 }
             }
             let result = match served {
-                Some(r) => r,
-                None => self.simulate_supervised(input, gate_std)?,
+                Some(r) => Ok(r),
+                None => self.simulate_supervised(input, gate_std),
             };
+            let failed = result.is_err();
             results.push(result);
+            if failed && stop_on_error {
+                break;
+            }
+            // With `stop_on_error` off, a failed row leaves the wave cache
+            // untouched: failed simulations never retrain, and the
+            // generation check above already guards every other staleness
+            // path — the next row consults exactly the predictions it
+            // would have seen sequentially.
         }
         Ok(results)
     }

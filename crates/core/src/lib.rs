@@ -62,6 +62,11 @@ pub enum LeError {
     Model(String),
     /// Not enough data for the requested operation.
     InsufficientData(String),
+    /// A serving-layer admission rejection: the request exceeded its
+    /// tenant's quota (or the frontend's capacity) and was never executed.
+    /// Typed so load generators and clients can distinguish backpressure
+    /// from execution failures and retry/shed accordingly.
+    Backpressure(String),
 }
 
 impl std::fmt::Display for LeError {
@@ -71,6 +76,7 @@ impl std::fmt::Display for LeError {
             LeError::Simulation(s) => write!(f, "simulation error: {s}"),
             LeError::Model(s) => write!(f, "model error: {s}"),
             LeError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
+            LeError::Backpressure(s) => write!(f, "backpressure: {s}"),
         }
     }
 }

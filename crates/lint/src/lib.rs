@@ -160,7 +160,7 @@ pub fn is_in_tree_name(name: &str, members: &BTreeSet<String>) -> bool {
 /// (rule L4): the simulation and kernel substrates. Orchestration and
 /// measurement crates (`core`, `perfmodel`, `sched`, `bench`) legitimately
 /// read wall-clock time for effective-speedup accounting.
-pub const SIM_KERNEL_CRATES: [&str; 8] = [
+pub const SIM_KERNEL_CRATES: [&str; 9] = [
     "le-pool",
     "le-linalg",
     "le-nn",
@@ -169,6 +169,7 @@ pub const SIM_KERNEL_CRATES: [&str; 8] = [
     "le-tissue",
     "le-mlkernels",
     "le-faults",
+    "le-serve",
 ];
 
 /// The only crate allowed to read the wall clock directly (rule L6): the
@@ -255,6 +256,18 @@ mod tests {
         // future edit cannot silently drop the coverage.
         assert!(SIM_KERNEL_CRATES.contains(&"le-nn"));
         assert!(SIM_KERNEL_CRATES.contains(&"le-pool"));
+    }
+
+    #[test]
+    fn determinism_audit_covers_the_serving_frontend() {
+        // The serving layer promises bit-identical digests at any pool
+        // width and client count; its admission/batching decisions must
+        // therefore come from the seeded schedule, never ambient entropy
+        // or a clock. Pin le-serve in the audited set (its only
+        // sanctioned timing surface is the `le_obs::Stopwatch` shim for
+        // latency histograms, which lives in the wall-clock authority
+        // crate, not here).
+        assert!(SIM_KERNEL_CRATES.contains(&"le-serve"));
     }
 
     #[test]

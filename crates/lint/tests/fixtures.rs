@@ -76,6 +76,15 @@ fn determinism_fixture_flags_wall_clock_in_sim_crate() {
 }
 
 #[test]
+fn determinism_serve_fixture_flags_ambient_entropy_in_serving_crate() {
+    // The serving frontend is part of the audited sim-kernel set: an
+    // entropy-seeded RNG on its batch-formation path (which would break
+    // the bit-identical serve digest) must trip L4 — and only L4, since
+    // no clock is read.
+    assert_eq!(rules_fired(&fixture("determinism_serve")), [Rule::Determinism]);
+}
+
+#[test]
 fn wallclock_fixture_flags_clock_read_despite_allow_comment() {
     let report = check_workspace(&fixture("wallclock")).expect("scan");
     let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
@@ -132,8 +141,8 @@ fn real_workspace_is_clean() {
         "workspace has lint violations:\n{}",
         report.to_text()
     );
-    // All 15 crates plus the root package.
-    assert_eq!(report.manifests_scanned, 16);
+    // All 16 crates plus the root package.
+    assert_eq!(report.manifests_scanned, 17);
     assert!(report.files_scanned > 50);
 }
 
@@ -152,6 +161,7 @@ fn cli_exit_codes() {
         "no_panic",
         "float_hygiene",
         "determinism",
+        "determinism_serve",
         "lint_headers",
         "wallclock",
         "trace_hygiene",

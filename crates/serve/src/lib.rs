@@ -1,0 +1,54 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `le-serve` — the batched surrogate-serving frontend over
+//! [`learning_everywhere::HybridEngine`].
+//!
+//! The paper's MLaroundHPC vision only pays off when trained surrogates
+//! *serve* queries at scale: many concurrent clients, multi-tenant
+//! quotas, and batch formation that keeps the fused inference engine fed
+//! with wide waves instead of single lookups. This crate is that layer:
+//!
+//! * [`queue`] — a bounded, seq-ordered MPMC ingress ring: N client
+//!   threads publish pre-assigned sequence numbers into per-slot
+//!   mutexes (allocation-free on the hot path) and one consumer drains
+//!   them in strict sequence order, turning racy thread interleavings
+//!   back into one deterministic logical request stream.
+//! * [`admission`] — per-tenant token-bucket admission control evaluated
+//!   in *logical arrival time* (carried by the seeded schedule, not read
+//!   from any clock), so quota rejections are a pure function of the
+//!   request stream: typed [`learning_everywhere::LeError::Backpressure`]
+//!   rejections, bit-identical at any thread count.
+//! * [`loadgen`] — a hermetic, seeded open/closed-loop load generator
+//!   (configurable arrival processes, request-size distributions, and a
+//!   cached payload pool that requests reference by range — no per-request
+//!   payload synthesis on the submit path).
+//! * [`server`] — the serving loop: drains the ingress queue, forms
+//!   size/deadline-triggered waves, answers them through
+//!   `HybridEngine::query_each`, and records per-tenant/per-wave `le-obs`
+//!   counters plus wall-clock latency histograms (p50/p99/p999).
+//!
+//! ## Determinism contract
+//!
+//! Everything observable about a serve run **except wall-clock latency**
+//! — which requests are admitted or rejected, wave boundaries, every
+//! served output bit, every engine/supervisor counter — is a pure
+//! function of the workload seed and the engine's initial state,
+//! independent of `LE_POOL_THREADS`, the number of client threads, and
+//! OS scheduling. The pre-assigned global sequence numbers give the
+//! consumer a total order to reassemble; admission and batching decide
+//! off logical arrival times; and `query_each` inherits the batch
+//! engine's bit-identical wave semantics. `serve_campaign` digests this
+//! whole surface and `scripts/verify.sh` replays it at 1/4/7 pool
+//! threads. Latency histograms are real wall time (via the sanctioned
+//! [`le_obs::Stopwatch`] shim) and are excluded from snapshot diffing by
+//! the `serve.latency` name prefix.
+
+pub mod admission;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+
+pub use admission::{AdmissionController, TenantQuota};
+pub use loadgen::{Arrival, LoadConfig, RequestSpec, SizeClass, Workload};
+pub use queue::IngressQueue;
+pub use server::{serve, LatencySummary, LoopMode, Response, ServeConfig, ServeReport};

@@ -113,6 +113,46 @@ cargo run -q --release --offline -p le-obs --bin obsctl -- diff \
   --baseline results/baselines/faults --current results \
   --tolerance 100 --ignore le_pool.
 
+# Serving gate: the le-serve frontend must push >= 1M rows through the
+# batched waves, reproduce a byte-identical digest (workload identity,
+# every served output bit, every typed rejection, serve/engine counters)
+# at any LE_POOL_THREADS, stay bitwise-equivalent to the direct engine
+# path at every pool width (tests/serve_equivalence.rs + the crate's own
+# queue/loadgen/admission suites), keep tail latency under the ceiling,
+# and replicate the committed serve counters exactly (thread-variant
+# pool metrics and the wall-clock serve.latency histograms are excluded).
+echo "==> serve campaign: digest invariance + equivalence at LE_POOL_THREADS=1/4/7"
+serve_digest=""
+for threads in 1 4 7; do
+  out="$(LE_POOL_THREADS=$threads cargo run -q --release --offline -p le-bench --bin serve_campaign 2>/dev/null)"
+  d="$(printf '%s\n' "$out" | sed -n 's/^digest //p')"
+  [ -n "$d" ] || { echo "serve_campaign printed no digest at LE_POOL_THREADS=$threads" >&2; exit 1; }
+  if [ -z "$serve_digest" ]; then
+    serve_digest="$d"
+    rows="$(printf '%s\n' "$out" | sed -n 's/^rows_served //p')"
+    [ -n "$rows" ] || { echo "serve_campaign printed no rows_served" >&2; exit 1; }
+    awk "BEGIN { exit !($rows >= 1000000) }" || {
+      echo "serve campaign served only $rows rows (acceptance floor: 1000000)" >&2
+      exit 1
+    }
+    p99="$(printf '%s\n' "$out" | sed -n 's/.* p99_us \([0-9.]*\).*/\1/p')"
+    [ -n "$p99" ] || { echo "serve_campaign printed no p99" >&2; exit 1; }
+    awk "BEGIN { exit !($p99 <= 250000.0) }" || {
+      echo "serve campaign p99 latency ${p99}us exceeds the 250ms ceiling" >&2
+      exit 1
+    }
+  elif [ "$d" != "$serve_digest" ]; then
+    echo "serve campaign digest diverged: $serve_digest vs $d (LE_POOL_THREADS=$threads)" >&2
+    exit 1
+  fi
+  LE_POOL_THREADS=$threads cargo test -q --offline --test serve_equivalence
+  LE_POOL_THREADS=$threads cargo test -q --offline -p le-serve
+done
+echo "    digest $serve_digest at all thread counts"
+cargo run -q --release --offline -p le-obs --bin obsctl -- diff \
+  --baseline results/baselines/serve --current results \
+  --tolerance 100 --ignore le_pool. --ignore serve.latency
+
 # Trace-overhead smoke: journaling the MD step loop (spans + per-chunk pool
 # tasks) must stay within a few percent of the untraced run. The binary
 # interleaves journal-on/off reps and compares medians; gate via

@@ -456,3 +456,132 @@ fn hostile_configurations_rejected_up_front() {
         r.source == learning_everywhere::QuerySource::Simulated
     });
 }
+
+#[test]
+fn serving_path_walks_the_degradation_ladder_like_the_direct_path() {
+    // Drive a `FaultySimulator` through the full `le-serve` frontend with
+    // a NaN-poisoned training buffer: the auto-retrains that fire inside
+    // serving waves must fail, walk Quarantined → Degraded mid-campaign,
+    // and land on *exactly* the same engine/supervisor counters — and the
+    // same served bits — as the identical campaign run directly through
+    // `query_each`. Supervision is engine-level; the frontend must
+    // neither mask nor duplicate any rung of the ladder.
+    use le_faults::{FaultPlan, FaultRates, FaultySimulator};
+    use le_serve::{serve, LoopMode, ServeConfig, TenantQuota};
+
+    let plan = FaultPlan::new(
+        0xFA_5E,
+        FaultRates {
+            sim_error: 0.08,
+            nonfinite: 0.04,
+            stall: 0.0,
+        },
+    )
+    .expect("valid fault plan");
+
+    let build = |plan: FaultPlan| -> HybridEngine<FaultySimulator<SyntheticSimulator>> {
+        let mut engine = HybridEngine::with_supervisor(
+            FaultySimulator::new(SyntheticSimulator::new(2, 1, 0, 0.0), plan),
+            HybridConfig {
+                uncertainty_threshold: 0.3,
+                min_training_runs: 16,
+                retrain_growth: 1.25,
+                surrogate: SurrogateConfig {
+                    hidden: vec![8],
+                    epochs: 10,
+                    mc_samples: 4,
+                    seed: 6,
+                    ..Default::default()
+                },
+            },
+            SupervisorConfig {
+                max_retries: 2,
+                quarantine_after: 3,
+                degrade_after: 2,
+            },
+        )
+        .expect("valid config");
+        // Sub-threshold poisoned seeding: tolerated by `seed_training`,
+        // fatal to every later `NnSurrogate::fit`.
+        let poisoned_x = vec![vec![0.0, 0.0], vec![0.1, 0.1], vec![0.2, 0.2], vec![0.3, 0.3]];
+        engine
+            .seed_training(&poisoned_x, &vec![vec![f64::NAN]; 4])
+            .expect("sub-threshold seeding does not train");
+        engine
+    };
+
+    let workload = le_serve::loadgen::generate(&le_serve::LoadConfig {
+        seed: 0xFA_5E,
+        requests: 120,
+        input_dim: 2,
+        domain: (-1.0, 1.0),
+        payload_pool: 64,
+        tenants: vec![1.0],
+        sizes: vec![
+            le_serve::SizeClass { rows: 1, weight: 0.6 },
+            le_serve::SizeClass { rows: 4, weight: 0.4 },
+        ],
+        arrival: le_serve::Arrival::Poisson { rate: 2000.0 },
+    })
+    .expect("valid workload");
+
+    // Direct path: same logical row order, one query_each call.
+    let mut direct = build(plan.clone());
+    let inputs: Vec<&[f64]> = workload
+        .specs
+        .iter()
+        .flat_map(|s| (s.row_start..s.row_start + s.rows).map(|r| workload.row(r)))
+        .collect();
+    let direct_rows = direct.query_each(&inputs).expect("direct path serves");
+
+    // Serving path: concurrent clients, tiny waves, unlimited quota.
+    let mut served = build(plan);
+    let report = serve(
+        &mut served,
+        &workload,
+        &ServeConfig {
+            clients: 4,
+            queue_capacity: 16,
+            batch_max_rows: 12,
+            deadline: 0.01,
+            mode: LoopMode::Open,
+            quotas: vec![TenantQuota::unlimited()],
+        },
+    )
+    .expect("serve run completes under fault injection");
+
+    // The ladder fired — and fired identically.
+    assert_eq!(served.supervisor().state(), SupervisorState::Degraded);
+    assert_eq!(served.supervisor().state(), direct.supervisor().state());
+    assert_eq!(served.failed_retrains(), direct.failed_retrains());
+    assert!(served.failed_retrains() >= 2, "both retrain attempts failed");
+    assert_eq!(
+        served.supervisor().quarantines(),
+        direct.supervisor().quarantines()
+    );
+    assert_eq!(served.supervisor().retries(), direct.supervisor().retries());
+    assert_eq!(served.n_lookups(), direct.n_lookups());
+    assert_eq!(served.n_simulations(), direct.n_simulations());
+    assert_eq!(served.simulator().calls(), direct.simulator().calls());
+
+    // Served bits match the direct campaign row for row (including which
+    // rows exhausted their retries and failed with typed errors).
+    let mut cursor = 0usize;
+    for resp in &report.responses {
+        for row in resp.outcome.as_ref().expect("unlimited quota admits all") {
+            let want = &direct_rows[cursor];
+            cursor += 1;
+            match (row, want) {
+                (Ok(a), Ok(b)) => {
+                    for (x, y) in a.output.iter().zip(&b.output) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                    assert_eq!(a.source, b.source);
+                }
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => panic!("row {cursor} diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+    assert_eq!(cursor, direct_rows.len());
+}

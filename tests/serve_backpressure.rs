@@ -1,0 +1,251 @@
+//! Backpressure and admission-accounting properties of the `le-serve`
+//! frontend, checked over seeded workload sweeps:
+//!
+//! * quota accounting is conserved per tenant
+//!   (`admitted + rejected == submitted`), and every submitted request is
+//!   answered exactly once — nothing is dropped silently;
+//! * rejections are typed [`LeError::Backpressure`] values, never panics
+//!   or truncated responses;
+//! * a saturated ingress ring (tiny capacity, many clients) parks
+//!   producers instead of deadlocking or dropping;
+//! * admission decisions are a pure function of the stream — replays are
+//!   identical, and unlimited quotas never reject.
+
+use le_serve::{
+    serve, Arrival, LoadConfig, LoopMode, ServeConfig, SizeClass, TenantQuota, Workload,
+};
+use learning_everywhere::simulator::SyntheticSimulator;
+use learning_everywhere::surrogate::SurrogateConfig;
+use learning_everywhere::{HybridConfig, HybridEngine, LeError};
+
+/// A warm, generous-gate engine so these tests spend their time in the
+/// admission/queue logic, not in simulation.
+fn engine() -> HybridEngine<SyntheticSimulator> {
+    let mut eng = HybridEngine::new(
+        SyntheticSimulator::new(2, 1, 0, 0.0),
+        HybridConfig {
+            uncertainty_threshold: 10.0,
+            min_training_runs: 16,
+            retrain_growth: 8.0,
+            surrogate: SurrogateConfig {
+                hidden: vec![8],
+                epochs: 10,
+                mc_samples: 4,
+                seed: 2,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("valid config");
+    let sim = SyntheticSimulator::new(2, 1, 0, 0.0);
+    let mut rng = le_linalg::Rng::new(99);
+    let x: Vec<Vec<f64>> = (0..24)
+        .map(|_| vec![rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)])
+        .collect();
+    let y: Vec<Vec<f64>> = x.iter().map(|v| sim.truth(v)).collect();
+    eng.seed_training(&x, &y).expect("warmup trains");
+    eng
+}
+
+fn workload(seed: u64, requests: usize) -> Workload {
+    le_serve::loadgen::generate(&LoadConfig {
+        seed,
+        requests,
+        input_dim: 2,
+        domain: (-1.0, 1.0),
+        payload_pool: 96,
+        tenants: vec![0.4, 0.4, 0.2],
+        sizes: vec![
+            SizeClass { rows: 1, weight: 0.5 },
+            SizeClass { rows: 4, weight: 0.3 },
+            SizeClass { rows: 12, weight: 0.2 },
+        ],
+        arrival: Arrival::Poisson { rate: 3000.0 },
+    })
+    .expect("valid workload")
+}
+
+/// Tenant 2 gets a bucket far below its offered rate, so it must shed.
+fn tight_quotas() -> Vec<TenantQuota> {
+    vec![
+        TenantQuota::unlimited(),
+        TenantQuota { rate: 5_000.0, burst: 64.0 },
+        TenantQuota { rate: 300.0, burst: 8.0 },
+    ]
+}
+
+#[test]
+fn accounting_is_conserved_and_every_request_is_answered() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let w = workload(seed, 500);
+        let mut eng = engine();
+        let report = serve(
+            &mut eng,
+            &w,
+            &ServeConfig {
+                clients: 4,
+                queue_capacity: 64,
+                batch_max_rows: 48,
+                deadline: 0.01,
+                mode: LoopMode::Open,
+                quotas: tight_quotas(),
+            },
+        )
+        .expect("serve run completes");
+
+        // Exactly one response per request, in sequence order.
+        assert_eq!(report.responses.len(), w.specs.len());
+        for (i, r) in report.responses.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "responses are seq-indexed");
+        }
+
+        // Per-tenant conservation against the schedule's own census.
+        let mut expected = vec![0u64; w.tenants];
+        for s in &w.specs {
+            expected[s.tenant] += 1;
+        }
+        let mut answered_rejects = vec![0u64; w.tenants];
+        for r in &report.responses {
+            if r.outcome.is_err() {
+                answered_rejects[r.tenant] += 1;
+            }
+        }
+        for t in 0..w.tenants {
+            assert_eq!(report.submitted[t], expected[t], "tenant {t} census");
+            assert_eq!(
+                report.admitted[t] + report.rejected[t],
+                report.submitted[t],
+                "tenant {t} conservation"
+            );
+            assert_eq!(
+                report.rejected[t], answered_rejects[t],
+                "tenant {t}: every rejection is an answered response"
+            );
+        }
+        let rejected: u64 = report.rejected.iter().sum();
+        assert!(rejected > 0, "seed {seed}: the tight quota actually shed load");
+        assert!(
+            report.rejected[0] == 0,
+            "unlimited tenant 0 is never rejected"
+        );
+    }
+}
+
+#[test]
+fn rejections_are_typed_backpressure_errors() {
+    let w = workload(7, 400);
+    let mut eng = engine();
+    let report = serve(
+        &mut eng,
+        &w,
+        &ServeConfig {
+            clients: 3,
+            queue_capacity: 32,
+            batch_max_rows: 32,
+            deadline: 0.01,
+            mode: LoopMode::Open,
+            quotas: tight_quotas(),
+        },
+    )
+    .expect("serve run completes");
+    let mut saw_reject = false;
+    for r in &report.responses {
+        match &r.outcome {
+            Ok(rows) => {
+                assert!(!rows.is_empty(), "admitted requests carry their rows");
+                for row in rows {
+                    assert!(row.is_ok(), "this simulator never fails a row");
+                }
+            }
+            Err(e) => {
+                saw_reject = true;
+                assert!(
+                    matches!(e, LeError::Backpressure(_)),
+                    "rejection must be typed backpressure, got: {e}"
+                );
+                assert!(e.to_string().contains("over quota"));
+            }
+        }
+    }
+    assert!(saw_reject);
+}
+
+#[test]
+fn saturated_ring_parks_producers_without_deadlock_or_loss() {
+    // Capacity 2 with 8 clients: producers spend the whole run parked on
+    // the saturation window. Both loop modes must still answer everything.
+    for mode in [LoopMode::Open, LoopMode::Closed] {
+        let w = workload(11, 600);
+        let mut eng = engine();
+        let report = serve(
+            &mut eng,
+            &w,
+            &ServeConfig {
+                clients: 8,
+                queue_capacity: 2,
+                batch_max_rows: 16,
+                deadline: 0.002,
+                mode,
+                quotas: tight_quotas(),
+            },
+        )
+        .expect("saturated run still completes");
+        assert_eq!(report.responses.len(), 600, "mode {mode:?}: nothing dropped");
+        let submitted: u64 = report.submitted.iter().sum();
+        assert_eq!(submitted, 600);
+    }
+}
+
+#[test]
+fn admission_decisions_replay_bit_identically() {
+    let decisions = |clients: usize| -> Vec<bool> {
+        let w = workload(17, 500);
+        let mut eng = engine();
+        let report = serve(
+            &mut eng,
+            &w,
+            &ServeConfig {
+                clients,
+                queue_capacity: 16,
+                batch_max_rows: 40,
+                deadline: 0.005,
+                mode: LoopMode::Open,
+                quotas: tight_quotas(),
+            },
+        )
+        .expect("serve run completes");
+        report.responses.iter().map(|r| r.outcome.is_ok()).collect()
+    };
+    let a = decisions(1);
+    let b = decisions(6);
+    let c = decisions(6);
+    assert_eq!(a, b, "client count must not change admission");
+    assert_eq!(b, c, "replays are identical");
+    assert!(a.iter().any(|&x| !x), "the sweep actually exercised rejection");
+}
+
+#[test]
+fn unlimited_quotas_never_reject() {
+    let w = workload(23, 400);
+    let mut eng = engine();
+    let report = serve(
+        &mut eng,
+        &w,
+        &ServeConfig {
+            clients: 4,
+            queue_capacity: 32,
+            batch_max_rows: 64,
+            deadline: 0.01,
+            mode: LoopMode::Open,
+            quotas: vec![TenantQuota::unlimited(); 3],
+        },
+    )
+    .expect("serve run completes");
+    assert_eq!(report.rejected.iter().sum::<u64>(), 0);
+    assert_eq!(
+        report.admitted.iter().sum::<u64>(),
+        report.responses.len() as u64
+    );
+    assert_eq!(report.rows_served as usize, w.total_rows());
+    assert_eq!(report.row_errors, 0);
+}

@@ -1,0 +1,236 @@
+//! Serving-path equivalence: a workload answered through the full
+//! `le-serve` frontend — concurrent client threads, the seq-ordered
+//! ingress ring, admission, and size/deadline wave formation — must be
+//! **bitwise identical** to driving the same logical row sequence through
+//! `HybridEngine` directly. The frontend adds concurrency and batching
+//! policy, never numerics.
+//!
+//! `scripts/verify.sh` runs this suite at `LE_POOL_THREADS` ∈ {1, 4, 7}:
+//! the equivalence must hold at any pool width and any client
+//! interleaving.
+
+use le_serve::{
+    serve, Arrival, LoadConfig, LoopMode, ServeConfig, SizeClass, TenantQuota, Workload,
+};
+use learning_everywhere::simulator::SyntheticSimulator;
+use learning_everywhere::surrogate::SurrogateConfig;
+use learning_everywhere::{HybridConfig, HybridEngine};
+
+/// A small mixed-regime engine: tight enough gate that waves mix lookups
+/// with simulations (and trigger mid-run retrains), so equivalence is
+/// checked across every engine state transition, not just the warm path.
+fn engine() -> HybridEngine<SyntheticSimulator> {
+    HybridEngine::new(
+        SyntheticSimulator::new(2, 1, 5, 0.0),
+        HybridConfig {
+            uncertainty_threshold: 0.25,
+            min_training_runs: 16,
+            retrain_growth: 1.5,
+            surrogate: SurrogateConfig {
+                hidden: vec![12],
+                epochs: 15,
+                mc_samples: 6,
+                seed: 4,
+                ..Default::default()
+            },
+        },
+    )
+    .expect("valid config")
+}
+
+fn workload(seed: u64) -> Workload {
+    le_serve::loadgen::generate(&LoadConfig {
+        seed,
+        requests: 400,
+        input_dim: 2,
+        domain: (-1.0, 1.0),
+        payload_pool: 128,
+        tenants: vec![0.6, 0.4],
+        sizes: vec![
+            SizeClass { rows: 1, weight: 0.5 },
+            SizeClass { rows: 3, weight: 0.3 },
+            SizeClass { rows: 9, weight: 0.2 },
+        ],
+        arrival: Arrival::Poisson { rate: 5000.0 },
+    })
+    .expect("valid workload")
+}
+
+/// The direct path: the same logical row order, one `query_each` call.
+fn direct_rows(w: &Workload) -> Vec<learning_everywhere::hybrid::QueryResult> {
+    let mut eng = engine();
+    let inputs: Vec<&[f64]> = w
+        .specs
+        .iter()
+        .flat_map(|s| (s.row_start..s.row_start + s.rows).map(|r| w.row(r)))
+        .collect();
+    eng.query_each(&inputs)
+        .expect("direct path serves")
+        .into_iter()
+        .map(|r| r.expect("no per-row failures in this workload"))
+        .collect()
+}
+
+fn assert_bitwise_equal(
+    w: &Workload,
+    report: &le_serve::ServeReport,
+    direct: &[learning_everywhere::hybrid::QueryResult],
+) {
+    assert_eq!(report.responses.len(), w.specs.len());
+    let mut cursor = 0usize;
+    for (spec, resp) in w.specs.iter().zip(&report.responses) {
+        assert_eq!(resp.seq, spec.seq);
+        assert_eq!(resp.tenant, spec.tenant);
+        let rows = resp.outcome.as_ref().expect("unlimited quotas admit all");
+        assert_eq!(rows.len(), spec.rows);
+        for row in rows {
+            let got = row.as_ref().expect("row served");
+            let want = &direct[cursor];
+            cursor += 1;
+            assert_eq!(got.output.len(), want.output.len());
+            for (a, b) in got.output.iter().zip(&want.output) {
+                assert_eq!(a.to_bits(), b.to_bits(), "output bits diverged");
+            }
+            assert_eq!(got.source, want.source, "gate decision diverged");
+            assert_eq!(
+                got.gate_std.map(f64::to_bits),
+                want.gate_std.map(f64::to_bits),
+                "gate uncertainty diverged"
+            );
+        }
+    }
+    assert_eq!(cursor, direct.len(), "every direct row matched");
+}
+
+#[test]
+fn open_loop_serving_is_bitwise_identical_to_the_direct_path() {
+    let w = workload(0xE0);
+    let direct = direct_rows(&w);
+    let mut eng = engine();
+    let report = serve(
+        &mut eng,
+        &w,
+        &ServeConfig {
+            clients: 5,
+            queue_capacity: 32,
+            batch_max_rows: 24,
+            deadline: 0.004,
+            mode: LoopMode::Open,
+            quotas: vec![TenantQuota::unlimited(); 2],
+        },
+    )
+    .expect("serve run completes");
+    assert_bitwise_equal(&w, &report, &direct);
+    assert!(report.waves > 1, "the workload actually batched into waves");
+
+    // The engines walked the same state trajectory.
+    let mut reference = engine();
+    let inputs: Vec<&[f64]> = w
+        .specs
+        .iter()
+        .flat_map(|s| (s.row_start..s.row_start + s.rows).map(|r| w.row(r)))
+        .collect();
+    reference.query_each(&inputs).expect("reference serves");
+    assert_eq!(eng.n_lookups(), reference.n_lookups());
+    assert_eq!(eng.n_simulations(), reference.n_simulations());
+    assert_eq!(eng.buffered_runs(), reference.buffered_runs());
+}
+
+#[test]
+fn closed_loop_serving_is_bitwise_identical_to_the_direct_path() {
+    let w = workload(0xE1);
+    let direct = direct_rows(&w);
+    let mut eng = engine();
+    let report = serve(
+        &mut eng,
+        &w,
+        &ServeConfig {
+            clients: 3,
+            queue_capacity: 8,
+            batch_max_rows: 16,
+            deadline: 1.0,
+            mode: LoopMode::Closed,
+            quotas: vec![TenantQuota::unlimited(); 2],
+        },
+    )
+    .expect("serve run completes");
+    assert_bitwise_equal(&w, &report, &direct);
+}
+
+#[test]
+fn client_count_and_queue_capacity_do_not_change_a_single_bit() {
+    // The frontend's concurrency knobs are pure performance knobs: every
+    // (clients, capacity, batch) combination must reproduce the same
+    // response stream.
+    let w = workload(0xE2);
+    let runs: Vec<Vec<u64>> = [(1usize, 4usize, 8usize), (4, 16, 32), (9, 64, 64)]
+        .iter()
+        .map(|&(clients, capacity, batch)| {
+            let mut eng = engine();
+            let report = serve(
+                &mut eng,
+                &w,
+                &ServeConfig {
+                    clients,
+                    queue_capacity: capacity,
+                    batch_max_rows: batch,
+                    deadline: 0.01,
+                    mode: LoopMode::Open,
+                    quotas: vec![TenantQuota::unlimited(); 2],
+                },
+            )
+            .expect("serve run completes");
+            report
+                .responses
+                .iter()
+                .flat_map(|r| {
+                    r.outcome
+                        .as_ref()
+                        .expect("admitted")
+                        .iter()
+                        .flat_map(|row| {
+                            row.as_ref().expect("served").output.iter().map(|v| v.to_bits())
+                        })
+                        .collect::<Vec<u64>>()
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+    assert!(!runs[0].is_empty());
+}
+
+#[test]
+fn serve_rejects_mismatched_dimensions_and_tenants_up_front() {
+    let w = workload(0xE3); // input_dim 2, 2 tenants
+    let mut eng = engine();
+    // Too few tenant quotas.
+    let err = serve(
+        &mut eng,
+        &w,
+        &ServeConfig {
+            quotas: vec![TenantQuota::unlimited()],
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, learning_everywhere::LeError::InvalidConfig(_)));
+
+    // Engine with the wrong input dimensionality.
+    let mut wrong = HybridEngine::new(
+        SyntheticSimulator::new(3, 1, 5, 0.0),
+        HybridConfig::default(),
+    )
+    .expect("valid config");
+    let err = serve(
+        &mut wrong,
+        &w,
+        &ServeConfig {
+            quotas: vec![TenantQuota::unlimited(); 2],
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, learning_everywhere::LeError::InvalidConfig(_)));
+}
