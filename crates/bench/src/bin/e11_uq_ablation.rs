@@ -58,7 +58,7 @@ fn main() {
         .expect("trains");
         let mut mc = McDropout::new(net, 60, BENCH_SEED);
         let preds: Vec<Prediction> = mc.predict_batch(&x_test);
-        let report = calibration_error(&preds, &targets, 0);
+        let report = calibration_error(&preds, &targets, 0).expect("well-formed calibration set");
         println!(
             "{}",
             md_row(&[
@@ -87,7 +87,7 @@ fn main() {
     let preds: Vec<Prediction> = (0..x_test.rows())
         .map(|i| ens.predict_with_uncertainty(x_test.row(i)))
         .collect();
-    let report = calibration_error(&preds, &targets, 0);
+    let report = calibration_error(&preds, &targets, 0).expect("well-formed calibration set");
     println!(
         "{}",
         md_row(&[

@@ -28,6 +28,7 @@ use le_linalg::Matrix;
 use le_perfmodel::CampaignAccounting;
 
 use crate::simulator::Simulator;
+use crate::staleness::{StalenessConfig, StalenessDetector};
 use crate::supervisor::{Supervisor, SupervisorConfig};
 use crate::surrogate::{NnSurrogate, SurrogateConfig};
 use crate::{LeError, Result};
@@ -77,6 +78,53 @@ impl Default for HybridConfig {
     }
 }
 
+/// Opt-in rolling-retrain configuration
+/// ([`HybridEngine::enable_rolling_retrain`]).
+///
+/// With rolling retrain enabled the engine retrains **without pausing
+/// serving**: a mid-wave retrain trigger is *deferred* — the in-flight wave
+/// keeps answering from the frozen surrogate snapshot — and the swap runs
+/// at the deterministic wave boundary (the end of the current
+/// `query`/`query_batch`/`query_each` invocation). The training buffer
+/// becomes a recency-weighted sliding window: bounded at `buffer_cap` runs
+/// (oldest evicted first, `hybrid.rolling.evicted`), with the newest
+/// `recent_boost` runs duplicated into each fit so the model tracks the
+/// drifted distribution faster than a uniform window would.
+///
+/// Growth-based retrain triggers count *total* runs seen
+/// ([`HybridEngine::runs_seen`]), not the capped buffer length — otherwise
+/// a full window would never trigger again.
+///
+/// `audit_every` adds deterministic **audit sampling**: every Nth query
+/// (by the engine's serial query index) is simulated even when the UQ gate
+/// would have served the surrogate. An MC-dropout net extrapolating onto a
+/// drifted distribution is often *overconfidently wrong* — its gate std
+/// barely moves while its error explodes — so a drifting stream can starve
+/// both the staleness detector and the rolling buffer of ground truth.
+/// Audit rows supply that truth at a bounded, seedless, thread-invariant
+/// cadence (pure function of the query index), counted as
+/// `hybrid.audit.simulated`. `0` disables auditing.
+#[derive(Debug, Clone, Copy)]
+pub struct RollingRetrainConfig {
+    /// Maximum training-buffer length; older runs are evicted first.
+    pub buffer_cap: usize,
+    /// Newest runs duplicated into each rolling fit (recency weighting);
+    /// clamped to the buffer length, must not exceed `buffer_cap`.
+    pub recent_boost: usize,
+    /// Simulate every Nth query regardless of the gate (0 = off).
+    pub audit_every: u64,
+}
+
+impl Default for RollingRetrainConfig {
+    fn default() -> Self {
+        Self {
+            buffer_cap: 256,
+            recent_boost: 32,
+            audit_every: 0,
+        }
+    }
+}
+
 /// The MLaroundHPC engine wrapping a [`Simulator`].
 pub struct HybridEngine<S: Simulator> {
     simulator: S,
@@ -95,6 +143,22 @@ pub struct HybridEngine<S: Simulator> {
     /// from a superseded model (see `query_rows`).
     surrogate_generation: u64,
     supervisor: Supervisor,
+    /// Rolling-retrain mode, off by default (see
+    /// [`HybridEngine::enable_rolling_retrain`]). When off, every legacy
+    /// code path is bit-identical to the pre-rolling engine.
+    rolling: Option<RollingRetrainConfig>,
+    /// Drift staleness detector, off by default
+    /// ([`HybridEngine::enable_staleness`]).
+    staleness: Option<StalenessDetector>,
+    /// A retrain is due but deferred to the next wave boundary.
+    retrain_pending: bool,
+    /// Total runs ever appended to the buffer (survives rolling eviction).
+    runs_seen: u64,
+    /// Serial query index (every row of every wave); drives audit sampling.
+    queries_seen: u64,
+    rolling_swaps: u64,
+    rolling_deferrals: u64,
+    rolling_evictions: u64,
 }
 
 impl<S: Simulator> HybridEngine<S> {
@@ -139,7 +203,78 @@ impl<S: Simulator> HybridEngine<S> {
             failed_retrains: 0,
             surrogate_generation: 0,
             supervisor: Supervisor::new(supervision)?,
+            rolling: None,
+            staleness: None,
+            retrain_pending: false,
+            runs_seen: 0,
+            queries_seen: 0,
+            rolling_swaps: 0,
+            rolling_deferrals: 0,
+            rolling_evictions: 0,
         })
+    }
+
+    /// Switch the engine into rolling-retrain mode (see
+    /// [`RollingRetrainConfig`]): bounded recency-weighted buffer, deferred
+    /// retrains, swap at the deterministic wave boundary. Opt-in so the
+    /// legacy inline-retrain path (and every digest pinned to it) is
+    /// untouched unless a caller asks for it.
+    pub fn enable_rolling_retrain(&mut self, config: RollingRetrainConfig) -> Result<()> {
+        if config.buffer_cap < 4 {
+            return Err(LeError::InvalidConfig(
+                "rolling buffer_cap must be at least 4".into(),
+            ));
+        }
+        if config.recent_boost > config.buffer_cap {
+            return Err(LeError::InvalidConfig(
+                "rolling recent_boost must not exceed buffer_cap".into(),
+            ));
+        }
+        self.rolling = Some(config);
+        self.enforce_rolling_cap();
+        Ok(())
+    }
+
+    /// Attach a drift staleness detector ([`crate::staleness`]): rising
+    /// gate-std and decaying interval calibration over sliding windows
+    /// raise a typed [`LeError::Stale`] supervisor anomaly
+    /// (`supervisor.stale`) and request a retrain at the next wave
+    /// boundary.
+    pub fn enable_staleness(&mut self, config: StalenessConfig) -> Result<()> {
+        self.staleness = Some(StalenessDetector::new(config)?);
+        Ok(())
+    }
+
+    /// The attached staleness detector, if any.
+    pub fn staleness(&self) -> Option<&StalenessDetector> {
+        self.staleness.as_ref()
+    }
+
+    /// Total runs ever appended to the training buffer (not reduced by
+    /// rolling eviction).
+    pub fn runs_seen(&self) -> u64 {
+        self.runs_seen
+    }
+
+    /// Rolling-mode swaps: retrains executed at a wave boundary.
+    pub fn rolling_swaps(&self) -> u64 {
+        self.rolling_swaps
+    }
+
+    /// Rolling-mode deferrals: mid-wave retrain triggers pushed to the
+    /// next wave boundary.
+    pub fn rolling_deferrals(&self) -> u64 {
+        self.rolling_deferrals
+    }
+
+    /// Runs evicted from the bounded rolling buffer.
+    pub fn rolling_evictions(&self) -> u64 {
+        self.rolling_evictions
+    }
+
+    /// Is a deferred retrain waiting for the next wave boundary?
+    pub fn retrain_pending(&self) -> bool {
+        self.retrain_pending
     }
 
     /// The degradation-ladder state machine (rung, retries, quarantines,
@@ -295,7 +430,17 @@ impl<S: Simulator> HybridEngine<S> {
             // counted, reported to the supervisor, and answered by falling
             // through to the simulator rather than failing the query.
             let mut gate_std = None;
+            let mut gate_pred: Option<le_uq::Prediction> = None;
             let mut served = None;
+            // Audit sampling (rolling mode): every Nth query by serial
+            // index is simulated even if the gate would admit it — the
+            // ground truth the staleness detector and the rolling buffer
+            // need when an extrapolating surrogate is overconfident. The
+            // decision is a pure function of the index: thread-invariant.
+            let audit = self
+                .rolling
+                .map_or(false, |c| c.audit_every > 0 && self.queries_seen % c.audit_every == 0);
+            self.queries_seen += 1;
             if self.supervisor.trusts_surrogate() && self.surrogate.is_some() {
                 let stale = wave
                     .as_ref()
@@ -339,7 +484,14 @@ impl<S: Simulator> HybridEngine<S> {
                         self.supervisor.note_gate_ok();
                         let std = pred.max_std();
                         gate_std = Some(std);
-                        if std < self.config.uncertainty_threshold {
+                        if self.staleness.is_some() {
+                            gate_pred = Some(pred.clone());
+                        }
+                        if std < self.config.uncertainty_threshold && audit {
+                            // The gate would have admitted this row; the
+                            // audit cadence diverts it to the simulator.
+                            le_obs::counter!("hybrid.audit.simulated").inc();
+                        } else if std < self.config.uncertainty_threshold {
                             self.accounting.record_lookup(w.per_row_secs);
                             le_obs::global()
                                 .span("hybrid.lookup")
@@ -362,6 +514,30 @@ impl<S: Simulator> HybridEngine<S> {
                 Some(r) => Ok(r),
                 None => self.simulate_supervised(input, gate_std),
             };
+            // Drift watch: every finite gate std feeds the sliding window,
+            // and a gated-then-simulated row contributes a labelled
+            // (prediction, truth) pair for the calibration check. A flag
+            // raises the typed Stale anomaly through the supervisor and
+            // requests a retrain at the wave boundary below — it never
+            // fails or reroutes the query itself.
+            if let Some(det) = self.staleness.as_mut() {
+                if let Some(std) = gate_std {
+                    det.note_gate_std(std);
+                }
+                if let (Some(pred), Ok(r)) = (gate_pred, &result) {
+                    if r.source == QuerySource::Simulated {
+                        det.note_labelled(pred, r.output.clone());
+                    }
+                }
+                if let Some(signal) = det.check() {
+                    le_obs::counter!("staleness.flagged").inc();
+                    le_obs::global()
+                        .counter(&format!("staleness.{}", signal.kind()))
+                        .inc();
+                    self.supervisor.note_staleness(signal.to_error());
+                    self.retrain_pending = true;
+                }
+            }
             let failed = result.is_err();
             results.push(result);
             if failed && stop_on_error {
@@ -373,7 +549,117 @@ impl<S: Simulator> HybridEngine<S> {
             // path — the next row consults exactly the predictions it
             // would have seen sequentially.
         }
+        // The deterministic wave boundary: a retrain that was deferred
+        // mid-wave (rolling mode) or requested by the staleness detector
+        // executes here, after every row of this invocation has been
+        // answered from the frozen snapshot — serving never pauses.
+        self.service_pending_retrain();
         Ok(results)
+    }
+
+    /// Execute a deferred retrain at the wave boundary, if one is pending.
+    /// In rolling mode this is the snapshot *swap*: the freshly fitted
+    /// surrogate (recency-weighted buffer) replaces the frozen one between
+    /// waves, observable as `hybrid.rolling.swaps` and the
+    /// `hybrid.rolling.swap` trace span.
+    fn service_pending_retrain(&mut self) {
+        if !self.retrain_pending {
+            return;
+        }
+        self.retrain_pending = false;
+        if !self.supervisor.wants_retrain() || self.buffer_x.len() < 4 {
+            return;
+        }
+        let _t = le_obs::trace_span!("hybrid.rolling.swap");
+        let outcome = if self.rolling.is_some() {
+            self.retrain_rolling()
+        } else {
+            self.retrain()
+        };
+        if outcome.is_ok() {
+            self.rolling_swaps += 1;
+            le_obs::counter!("hybrid.rolling.swaps").inc();
+        }
+        // A failed boundary retrain was already counted and reported to
+        // the supervisor inside the retrain path; the next growth trigger
+        // (or staleness flag) retries.
+    }
+
+    /// Rolling-mode fit: the bounded buffer plus a duplicated tail of the
+    /// newest `recent_boost` runs (recency weighting), marked against
+    /// `runs_seen` so growth triggers keep firing as the window slides.
+    fn retrain_rolling(&mut self) -> Result<()> {
+        let cfg = match self.rolling {
+            Some(c) => c,
+            None => return self.retrain(),
+        };
+        let n = self.buffer_x.len();
+        if n < 4 {
+            return Err(LeError::InsufficientData(format!("{n} buffered runs")));
+        }
+        let boost = cfg.recent_boost.min(n);
+        let rows = n + boost;
+        let in_dim = self.simulator.input_dim();
+        let out_dim = self.simulator.output_dim();
+        let mut x = Matrix::zeros(rows, in_dim);
+        let mut y = Matrix::zeros(rows, out_dim);
+        for i in 0..n {
+            x.row_mut(i).copy_from_slice(&self.buffer_x[i]);
+            y.row_mut(i).copy_from_slice(&self.buffer_y[i]);
+        }
+        for (k, i) in (n - boost..n).enumerate() {
+            x.row_mut(n + k).copy_from_slice(&self.buffer_x[i]);
+            y.row_mut(n + k).copy_from_slice(&self.buffer_y[i]);
+        }
+        let _t = le_obs::trace_span!("hybrid.retrain");
+        let sp = le_obs::timed_span!("hybrid.retrain");
+        let cfg_s = &self.config.surrogate;
+        let fitted = catch_unwind(AssertUnwindSafe(|| NnSurrogate::fit(&x, &y, cfg_s)))
+            .unwrap_or_else(|_| Err(LeError::Model("surrogate training panicked".into())));
+        match fitted {
+            Ok(surrogate) => {
+                let secs = sp.finish_secs();
+                self.install_surrogate(surrogate, secs, self.runs_seen as usize);
+                Ok(())
+            }
+            Err(e) => {
+                self.failed_retrains += 1;
+                le_obs::counter!("hybrid.retrain_errors").inc();
+                self.supervisor.note_retrain_failure(e.clone());
+                // Push the next rolling attempt out by the growth factor.
+                self.runs_at_last_fit = self.runs_seen as usize;
+                Err(e)
+            }
+        }
+    }
+
+    /// Shared bookkeeping for installing a freshly fitted surrogate:
+    /// accounting, generation bump (wave invalidation), growth mark,
+    /// supervisor re-admission, and a staleness re-baseline.
+    fn install_surrogate(&mut self, surrogate: NnSurrogate, secs: f64, fit_mark: usize) {
+        self.accounting.record_learning(secs);
+        self.surrogate = Some(surrogate);
+        self.surrogate_generation = self.surrogate_generation.wrapping_add(1);
+        self.runs_at_last_fit = fit_mark;
+        self.supervisor.note_retrain_success();
+        if let Some(det) = self.staleness.as_mut() {
+            // The new model's uncertainty profile supersedes the old
+            // baseline; stale evidence about the retired snapshot would
+            // only re-fire spuriously.
+            det.reset();
+        }
+    }
+
+    /// Evict the oldest runs past the rolling buffer cap.
+    fn enforce_rolling_cap(&mut self) {
+        if let Some(cfg) = self.rolling {
+            while self.buffer_x.len() > cfg.buffer_cap {
+                self.buffer_x.remove(0);
+                self.buffer_y.remove(0);
+                self.rolling_evictions += 1;
+                le_obs::counter!("hybrid.rolling.evicted").inc();
+            }
+        }
     }
 
     /// Run the simulator with the supervisor's retry budget: each failed,
@@ -421,6 +707,8 @@ impl<S: Simulator> HybridEngine<S> {
                     le_obs::counter!("hybrid.simulations").inc();
                     self.buffer_x.push(input.to_vec());
                     self.buffer_y.push(output.clone());
+                    self.runs_seen += 1;
+                    self.enforce_rolling_cap();
                     self.maybe_retrain();
                     return Ok(QueryResult {
                         output,
@@ -459,6 +747,8 @@ impl<S: Simulator> HybridEngine<S> {
         }
         self.buffer_x.extend_from_slice(x);
         self.buffer_y.extend_from_slice(y);
+        self.runs_seen += x.len() as u64;
+        self.enforce_rolling_cap();
         if self.buffer_x.len() >= self.config.min_training_runs {
             self.retrain()?;
         }
@@ -476,13 +766,34 @@ impl<S: Simulator> HybridEngine<S> {
         if !self.supervisor.wants_retrain() {
             return;
         }
-        let n = self.buffer_x.len();
+        // Rolling mode counts total runs seen (the capped buffer length
+        // plateaus); legacy mode counts the unbounded buffer, exactly as
+        // before.
+        let n = if self.rolling.is_some() {
+            self.runs_seen as usize
+        } else {
+            self.buffer_x.len()
+        };
         let due = if self.surrogate.is_none() {
             n >= self.config.min_training_runs
         } else {
             n as f64 >= self.runs_at_last_fit as f64 * self.config.retrain_growth
         };
-        if due && self.retrain().is_err() {
+        if !due {
+            return;
+        }
+        if self.rolling.is_some() {
+            // Never retrain mid-wave: the in-flight wave keeps answering
+            // from the frozen snapshot; the swap happens at the wave
+            // boundary (`service_pending_retrain`).
+            if !self.retrain_pending {
+                self.retrain_pending = true;
+                self.rolling_deferrals += 1;
+                le_obs::counter!("hybrid.rolling.deferred").inc();
+            }
+            return;
+        }
+        if self.retrain().is_err() {
             // Push the next attempt out by the growth factor. The
             // supervisor transition was already noted inside `retrain`.
             self.runs_at_last_fit = n;
@@ -518,11 +829,15 @@ impl<S: Simulator> HybridEngine<S> {
             .unwrap_or_else(|_| Err(LeError::Model("surrogate training panicked".into())));
         match fitted {
             Ok(surrogate) => {
-                self.accounting.record_learning(sp.finish_secs());
-                self.surrogate = Some(surrogate);
-                self.surrogate_generation = self.surrogate_generation.wrapping_add(1);
-                self.runs_at_last_fit = n;
-                self.supervisor.note_retrain_success();
+                let secs = sp.finish_secs();
+                // In rolling mode the growth mark tracks total runs seen
+                // (the capped buffer length plateaus at the window size).
+                let fit_mark = if self.rolling.is_some() {
+                    self.runs_seen as usize
+                } else {
+                    n
+                };
+                self.install_surrogate(surrogate, secs, fit_mark);
                 Ok(())
             }
             Err(e) => {
@@ -886,5 +1201,165 @@ mod tests {
     fn wrong_input_dim_rejected() {
         let mut engine = engine(0.5, 13);
         assert!(engine.query(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rolling_config_validation() {
+        let mut e = engine(0.5, 31);
+        assert!(e
+            .enable_rolling_retrain(RollingRetrainConfig {
+                buffer_cap: 3,
+                recent_boost: 0,
+                audit_every: 0,
+            })
+            .is_err());
+        assert!(e
+            .enable_rolling_retrain(RollingRetrainConfig {
+                buffer_cap: 8,
+                recent_boost: 9,
+                audit_every: 0,
+            })
+            .is_err());
+        assert!(e.enable_rolling_retrain(RollingRetrainConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn rolling_defers_the_midwave_retrain_to_the_boundary() {
+        // One cold batch big enough to cross min_training_runs mid-wave.
+        // Legacy behaviour retrains inline (later rows of the same batch
+        // can be served as lookups); rolling mode must answer the whole
+        // in-flight wave from the frozen (here: absent) snapshot and swap
+        // only at the boundary.
+        let sim = SyntheticSimulator::new(2, 1, 0, 0.0);
+        let mut engine = HybridEngine::new(
+            sim,
+            HybridConfig {
+                uncertainty_threshold: 10.0, // everything passes the gate
+                min_training_runs: 8,
+                retrain_growth: 8.0,
+                surrogate: SurrogateConfig {
+                    epochs: 40,
+                    mc_samples: 4,
+                    seed: 33,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        engine
+            .enable_rolling_retrain(RollingRetrainConfig {
+                buffer_cap: 64,
+                recent_boost: 8,
+                audit_every: 0,
+            })
+            .unwrap();
+        let mut rng = Rng::new(34);
+        let batch: Vec<Vec<f64>> = (0..20)
+            .map(|_| vec![rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)])
+            .collect();
+        let results = engine.query_batch(&batch).unwrap();
+        // Every row of the wave was simulated: the retrain due at row 8
+        // was deferred, not executed mid-wave.
+        assert!(results.iter().all(|r| r.source == QuerySource::Simulated));
+        // …and the swap happened at the boundary.
+        assert!(engine.has_surrogate());
+        assert_eq!(engine.rolling_swaps(), 1);
+        assert!(engine.rolling_deferrals() >= 1);
+        assert!(!engine.retrain_pending());
+        // The next wave is served by the swapped-in surrogate.
+        let r = engine.query(&[0.1, 0.2]).unwrap();
+        assert!(r.gate_std.is_some());
+        assert_eq!(r.source, QuerySource::Lookup);
+    }
+
+    #[test]
+    fn rolling_buffer_is_bounded_and_growth_keeps_firing() {
+        let sim = SyntheticSimulator::new(2, 1, 0, 0.0);
+        let mut engine = HybridEngine::new(
+            sim,
+            HybridConfig {
+                // Impossible gate: every query simulates, so the buffer
+                // keeps growing past the cap.
+                uncertainty_threshold: 1e-12,
+                min_training_runs: 8,
+                retrain_growth: 1.5,
+                surrogate: SurrogateConfig {
+                    epochs: 10,
+                    mc_samples: 4,
+                    seed: 35,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        engine
+            .enable_rolling_retrain(RollingRetrainConfig {
+                buffer_cap: 16,
+                recent_boost: 4,
+                audit_every: 0,
+            })
+            .unwrap();
+        let mut rng = Rng::new(36);
+        for _ in 0..8 {
+            let batch: Vec<Vec<f64>> = (0..10)
+                .map(|_| vec![rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)])
+                .collect();
+            engine.query_batch(&batch).unwrap();
+        }
+        assert_eq!(engine.runs_seen(), 80);
+        assert!(engine.buffered_runs() <= 16, "{}", engine.buffered_runs());
+        assert!(engine.rolling_evictions() >= 64);
+        // Growth triggers kept firing off runs_seen even though the
+        // buffer length plateaued at the cap.
+        assert!(engine.rolling_swaps() >= 3, "{}", engine.rolling_swaps());
+    }
+
+    #[test]
+    fn staleness_flags_drift_and_boundary_retrain_follows() {
+        let mut engine = engine(1e9_f64, 41); // huge τ: gate always serves
+        engine
+            .enable_staleness(crate::StalenessConfig {
+                window: 8,
+                baseline: 8,
+                std_ratio: 1.3,
+                nominal_coverage: 0.9,
+                min_coverage: 0.0, // isolate the std-inflation symptom
+                min_labelled: 64,
+            })
+            .unwrap();
+        let mut rng = Rng::new(42);
+        // Train on the unit box.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..60 {
+            let x = vec![rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+            let y = engine.simulator().truth(&x);
+            xs.push(x);
+            ys.push(y);
+        }
+        engine.seed_training(&xs, &ys).unwrap();
+        // In-domain queries fill the baseline window with calm stds.
+        for _ in 0..8 {
+            let x = [rng.uniform_in(-0.5, 0.5), rng.uniform_in(-0.5, 0.5)];
+            engine.query(&x).unwrap();
+        }
+        // Drift: moderate extrapolation inflates the gate std.
+        for _ in 0..40 {
+            let x = [rng.uniform_in(2.0, 3.0), rng.uniform_in(-3.0, -2.0)];
+            engine.query(&x).unwrap();
+            if engine.supervisor().stale_flags() > 0 {
+                break;
+            }
+        }
+        assert!(
+            engine.supervisor().stale_flags() >= 1,
+            "drifted queries must flag staleness"
+        );
+        // The flag requested a boundary retrain; with a well-stocked
+        // buffer it executed at the end of the same (single-row) wave,
+        // clearing both the pending latch and the typed evidence.
+        assert!(!engine.retrain_pending());
+        assert!(engine.rolling_swaps() >= 1);
+        assert!(engine.supervisor().last_staleness().is_none());
     }
 }

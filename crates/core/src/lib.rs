@@ -42,12 +42,14 @@ pub mod autotune;
 pub mod control;
 pub mod hybrid;
 pub mod simulator;
+pub mod staleness;
 pub mod supervisor;
 pub mod surrogate;
 pub mod taxonomy;
 
-pub use hybrid::{HybridConfig, HybridEngine, QuerySource};
+pub use hybrid::{HybridConfig, HybridEngine, QuerySource, RollingRetrainConfig};
 pub use simulator::Simulator;
+pub use staleness::{StalenessConfig, StalenessDetector, StalenessSignal};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorState};
 pub use surrogate::{NnSurrogate, SurrogateConfig};
 
@@ -67,6 +69,29 @@ pub enum LeError {
     /// Typed so load generators and clients can distinguish backpressure
     /// from execution failures and retry/shed accordingly.
     Backpressure(String),
+    /// The staleness detector flagged the surrogate: the parameter
+    /// distribution has drifted away from what the model was trained on
+    /// (rising gate uncertainty or decaying interval calibration). The
+    /// engine keeps serving — uncertain queries fall through the UQ gate
+    /// to the simulator — but a rolling retrain is requested; this variant
+    /// carries the typed evidence.
+    Stale(String),
+}
+
+impl LeError {
+    /// Stable, lowercase kind label for counter/metric names (e.g.
+    /// `supervisor.retrain_failed.model`). One word per variant, no
+    /// payload, so OBS snapshot names stay deterministic.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            LeError::InvalidConfig(_) => "invalid_config",
+            LeError::Simulation(_) => "simulation",
+            LeError::Model(_) => "model",
+            LeError::InsufficientData(_) => "insufficient_data",
+            LeError::Backpressure(_) => "backpressure",
+            LeError::Stale(_) => "stale",
+        }
+    }
 }
 
 impl std::fmt::Display for LeError {
@@ -77,6 +102,7 @@ impl std::fmt::Display for LeError {
             LeError::Model(s) => write!(f, "model error: {s}"),
             LeError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
             LeError::Backpressure(s) => write!(f, "backpressure: {s}"),
+            LeError::Stale(s) => write!(f, "stale surrogate: {s}"),
         }
     }
 }

@@ -30,6 +30,13 @@
 //! Every transition emits an `le-obs` counter (`supervisor.retry`,
 //! `supervisor.quarantine`, `supervisor.readmit`, `supervisor.degraded`),
 //! so the obsctl snapshot-diff gate locks in exact degradation behaviour.
+//! Retrain failures additionally emit `supervisor.retrain_failed` plus a
+//! kind-labelled `supervisor.retrain_failed.<kind>` counter (the
+//! [`LeError::kind_label`] of the typed cause), making quarantine causes
+//! visible in OBS snapshots rather than only in-process; staleness flags
+//! from the drift detector arrive through [`Supervisor::note_staleness`]
+//! and count under `supervisor.stale` without walking the ladder — drift
+//! is remedied by a rolling retrain, not by benching the surrogate.
 
 use crate::{LeError, Result};
 
@@ -80,7 +87,9 @@ pub struct Supervisor {
     retries: u64,
     quarantines: u64,
     readmissions: u64,
+    stale_flags: u64,
     last_retrain_error: Option<LeError>,
+    last_staleness: Option<LeError>,
 }
 
 impl Supervisor {
@@ -104,7 +113,9 @@ impl Supervisor {
             retries: 0,
             quarantines: 0,
             readmissions: 0,
+            stale_flags: 0,
             last_retrain_error: None,
+            last_staleness: None,
         })
     }
 
@@ -154,6 +165,17 @@ impl Supervisor {
         self.last_retrain_error.as_ref()
     }
 
+    /// Staleness signals the drift detector has raised so far.
+    pub fn stale_flags(&self) -> u64 {
+        self.stale_flags
+    }
+
+    /// The typed evidence of the most recent staleness flag
+    /// ([`LeError::Stale`]; cleared by the next successful retrain).
+    pub fn last_staleness(&self) -> Option<&LeError> {
+        self.last_staleness.as_ref()
+    }
+
     /// A simulate attempt failed and another attempt follows.
     pub(crate) fn note_retry(&mut self) {
         self.retries += 1;
@@ -175,8 +197,25 @@ impl Supervisor {
         }
     }
 
+    /// The drift detector flagged the surrogate as stale. Counted and
+    /// retained as typed evidence; the ladder does not move — staleness is
+    /// remedied by the rolling retrain the engine schedules alongside this
+    /// call, and uncertain queries already fall through the gate.
+    pub(crate) fn note_staleness(&mut self, err: LeError) {
+        self.stale_flags += 1;
+        le_obs::counter!("supervisor.stale").inc();
+        self.last_staleness = Some(err);
+    }
+
     /// A retrain failed with `err`; walks the quarantine/degraded rungs.
     pub(crate) fn note_retrain_failure(&mut self, err: LeError) {
+        le_obs::counter!("supervisor.retrain_failed").inc();
+        // Kind-labelled companion counter: the OBS snapshot shows *why*
+        // retrains fail (model vs insufficient_data vs …), not just that
+        // they did. Dynamic name, same registry as the static counters.
+        le_obs::global()
+            .counter(&format!("supervisor.retrain_failed.{}", err.kind_label()))
+            .inc();
         self.last_retrain_error = Some(err);
         self.consecutive_failed_retrains += 1;
         if self.state == SupervisorState::Normal {
@@ -196,6 +235,7 @@ impl Supervisor {
         self.consecutive_failed_retrains = 0;
         self.consecutive_gate_anomalies = 0;
         self.last_retrain_error = None;
+        self.last_staleness = None;
         if self.state == SupervisorState::Quarantined {
             self.state = SupervisorState::Normal;
             self.readmissions += 1;
@@ -287,5 +327,42 @@ mod tests {
         s.note_retry();
         s.note_retry();
         assert_eq!(s.retries(), 2);
+    }
+
+    #[test]
+    fn staleness_is_counted_but_never_walks_the_ladder() {
+        let mut s = sup(1, 3, 3);
+        s.note_staleness(LeError::Stale("std inflation".into()));
+        s.note_staleness(LeError::Stale("calibration decay".into()));
+        assert_eq!(s.stale_flags(), 2);
+        assert_eq!(s.state(), SupervisorState::Normal);
+        assert!(s.trusts_surrogate());
+        assert!(matches!(s.last_staleness(), Some(LeError::Stale(_))));
+        // A successful retrain clears the evidence (flag count is history).
+        s.note_retrain_success();
+        assert!(s.last_staleness().is_none());
+        assert_eq!(s.stale_flags(), 2);
+    }
+
+    #[test]
+    fn retrain_failure_kinds_reach_labelled_counters() {
+        let before = le_obs::snapshot()
+            .counter("supervisor.retrain_failed.model")
+            .unwrap_or(0);
+        let before_total = le_obs::snapshot()
+            .counter("supervisor.retrain_failed")
+            .unwrap_or(0);
+        let mut s = sup(1, 3, 9);
+        s.note_retrain_failure(LeError::Model("nan loss".into()));
+        s.note_retrain_failure(LeError::InsufficientData("2 runs".into()));
+        // `>=`: other tests in this binary may fail retrains concurrently;
+        // the registry is process-global.
+        let snap = le_obs::snapshot();
+        assert!(snap.counter("supervisor.retrain_failed").unwrap_or(0) - before_total >= 2);
+        assert!(snap.counter("supervisor.retrain_failed.model").unwrap_or(0) - before >= 1);
+        assert!(snap
+            .counter("supervisor.retrain_failed.insufficient_data")
+            .unwrap_or(0)
+            >= 1);
     }
 }

@@ -160,7 +160,7 @@ pub fn is_in_tree_name(name: &str, members: &BTreeSet<String>) -> bool {
 /// (rule L4): the simulation and kernel substrates. Orchestration and
 /// measurement crates (`core`, `perfmodel`, `sched`, `bench`) legitimately
 /// read wall-clock time for effective-speedup accounting.
-pub const SIM_KERNEL_CRATES: [&str; 9] = [
+pub const SIM_KERNEL_CRATES: [&str; 10] = [
     "le-pool",
     "le-linalg",
     "le-nn",
@@ -170,6 +170,7 @@ pub const SIM_KERNEL_CRATES: [&str; 9] = [
     "le-mlkernels",
     "le-faults",
     "le-serve",
+    "le-drift",
 ];
 
 /// The only crate allowed to read the wall clock directly (rule L6): the
@@ -268,6 +269,17 @@ mod tests {
         // latency histograms, which lives in the wall-clock authority
         // crate, not here).
         assert!(SIM_KERNEL_CRATES.contains(&"le-serve"));
+    }
+
+    #[test]
+    fn determinism_audit_covers_the_drift_schedule() {
+        // Drift schedules are the replay substrate for the staleness and
+        // rolling-retrain campaigns: every offset must come from the
+        // seeded splitmix64 stream so the drift-campaign digest stays
+        // byte-identical at any pool width. Pin le-drift in the audited
+        // set so its sources can never grow a clock read or ambient
+        // entropy without tripping L4.
+        assert!(SIM_KERNEL_CRATES.contains(&"le-drift"));
     }
 
     #[test]

@@ -85,6 +85,15 @@ fn determinism_serve_fixture_flags_ambient_entropy_in_serving_crate() {
 }
 
 #[test]
+fn determinism_drift_fixture_flags_ambient_entropy_in_drift_crate() {
+    // Drift schedules feed the staleness/rolling-retrain campaigns and
+    // must replay byte-identically: an entropy-seeded jitter source in
+    // le-drift would break the drift-campaign digest, so it must trip
+    // L4 — and only L4, since no clock is read.
+    assert_eq!(rules_fired(&fixture("determinism_drift")), [Rule::Determinism]);
+}
+
+#[test]
 fn wallclock_fixture_flags_clock_read_despite_allow_comment() {
     let report = check_workspace(&fixture("wallclock")).expect("scan");
     let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
@@ -141,8 +150,8 @@ fn real_workspace_is_clean() {
         "workspace has lint violations:\n{}",
         report.to_text()
     );
-    // All 16 crates plus the root package.
-    assert_eq!(report.manifests_scanned, 17);
+    // All 17 crates plus the root package.
+    assert_eq!(report.manifests_scanned, 18);
     assert!(report.files_scanned > 50);
 }
 
@@ -162,6 +171,7 @@ fn cli_exit_codes() {
         "float_hygiene",
         "determinism",
         "determinism_serve",
+        "determinism_drift",
         "lint_headers",
         "wallclock",
         "trace_hygiene",

@@ -6,15 +6,53 @@
 //! interval coverage: a well-calibrated predictor's nominal q-probability
 //! central interval should contain the truth a fraction q of the time.
 
-use crate::Prediction;
+use crate::{Prediction, UqError};
 
 use crate::interval::z_for as z_for_coverage;
 
+/// Validate the common preconditions of the coverage diagnostics: a
+/// non-empty, length-matched prediction/target set whose vectors all reach
+/// output dimension `dim`. Returns the typed defect instead of a NaN, a
+/// silent 0.0, or an index panic.
+fn validate(preds: &[Prediction], targets: &[Vec<f64>], dim: usize) -> Result<(), UqError> {
+    if preds.is_empty() {
+        return Err(UqError::EmptySet);
+    }
+    if preds.len() != targets.len() {
+        return Err(UqError::LengthMismatch {
+            preds: preds.len(),
+            targets: targets.len(),
+        });
+    }
+    let width = preds
+        .iter()
+        .flat_map(|p| [p.mean.len(), p.std.len()])
+        .chain(targets.iter().map(|t| t.len()))
+        .min()
+        .unwrap_or(0); // lint:allow(no-panic): non-empty checked above
+    if dim >= width {
+        return Err(UqError::DimOutOfRange { dim, width });
+    }
+    Ok(())
+}
+
 /// Fraction of targets inside each prediction's nominal-q central interval,
 /// for a single output dimension `dim`.
-pub fn coverage(preds: &[Prediction], targets: &[Vec<f64>], dim: usize, q: f64) -> f64 {
-    assert_eq!(preds.len(), targets.len(), "preds/targets length mismatch");
-    assert!(!preds.is_empty(), "coverage of empty set");
+///
+/// Returns a typed [`UqError`] on an empty prediction set, a
+/// predictions/targets length mismatch, a `dim` outside any prediction or
+/// target vector, or a nominal level outside (0, 1) — the edge cases that
+/// previously produced NaN or panicked.
+pub fn coverage(
+    preds: &[Prediction],
+    targets: &[Vec<f64>],
+    dim: usize,
+    q: f64,
+) -> Result<f64, UqError> {
+    validate(preds, targets, dim)?;
+    if !(q > 0.0 && q < 1.0) {
+        return Err(UqError::BadNominal(q));
+    }
     let z = z_for_coverage(q);
     let inside = preds
         .iter()
@@ -24,7 +62,7 @@ pub fn coverage(preds: &[Prediction], targets: &[Vec<f64>], dim: usize, q: f64) 
             (lo..=hi).contains(&t[dim])
         })
         .count();
-    inside as f64 / preds.len() as f64
+    Ok(inside as f64 / preds.len() as f64)
 }
 
 /// A full reliability summary across a grid of nominal coverage levels.
@@ -42,26 +80,33 @@ pub struct CalibrationReport {
 
 /// Compute observed coverage over the standard grid {0.1, …, 0.9} and the
 /// mean absolute calibration error, for output dimension `dim`.
-pub fn calibration_error(preds: &[Prediction], targets: &[Vec<f64>], dim: usize) -> CalibrationReport {
+///
+/// Shares [`coverage`]'s typed edge-case contract: empty sets, length
+/// mismatches, and an out-of-range `dim` are [`UqError`]s, never NaN.
+pub fn calibration_error(
+    preds: &[Prediction],
+    targets: &[Vec<f64>],
+    dim: usize,
+) -> Result<CalibrationReport, UqError> {
+    validate(preds, targets, dim)?;
     let nominal: Vec<f64> = (1..10).map(|i| i as f64 / 10.0).collect();
-    let observed: Vec<f64> = nominal
-        .iter()
-        .map(|&q| coverage(preds, targets, dim, q))
-        .collect();
+    let mut observed = Vec::with_capacity(nominal.len());
+    for &q in &nominal {
+        observed.push(coverage(preds, targets, dim, q)?);
+    }
     let mace = nominal
         .iter()
         .zip(observed.iter())
         .map(|(&n, &o)| (n - o).abs())
         .sum::<f64>()
         / nominal.len() as f64;
-    let sharpness =
-        preds.iter().map(|p| p.std[dim]).sum::<f64>() / preds.len().max(1) as f64;
-    CalibrationReport {
+    let sharpness = preds.iter().map(|p| p.std[dim]).sum::<f64>() / preds.len() as f64;
+    Ok(CalibrationReport {
         nominal,
         observed,
         mace,
         sharpness,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -100,7 +145,7 @@ mod tests {
     #[test]
     fn perfectly_calibrated_has_low_mace() {
         let (preds, targets) = synthetic(20_000, 1.0, 61);
-        let report = calibration_error(&preds, &targets, 0);
+        let report = calibration_error(&preds, &targets, 0).unwrap();
         assert!(report.mace < 0.02, "calibrated MACE {}", report.mace);
         // Observed coverage tracks nominal at every level.
         for (n, o) in report.nominal.iter().zip(report.observed.iter()) {
@@ -111,7 +156,7 @@ mod tests {
     #[test]
     fn overconfident_predictor_undercovers() {
         let (preds, targets) = synthetic(10_000, 2.0, 62);
-        let report = calibration_error(&preds, &targets, 0);
+        let report = calibration_error(&preds, &targets, 0).unwrap();
         // True spread is twice the predicted std: observed < nominal.
         for (n, o) in report.nominal.iter().zip(report.observed.iter()) {
             assert!(o < n, "overconfident: observed {o} should be < nominal {n}");
@@ -122,7 +167,7 @@ mod tests {
     #[test]
     fn conservative_predictor_overcovers() {
         let (preds, targets) = synthetic(10_000, 0.5, 63);
-        let report = calibration_error(&preds, &targets, 0);
+        let report = calibration_error(&preds, &targets, 0).unwrap();
         for (n, o) in report.nominal.iter().zip(report.observed.iter()) {
             assert!(o > n, "conservative: observed {o} should be > nominal {n}");
         }
@@ -141,7 +186,7 @@ mod tests {
             },
         ];
         let targets = vec![vec![0.0], vec![0.0]];
-        let report = calibration_error(&preds, &targets, 0);
+        let report = calibration_error(&preds, &targets, 0).unwrap();
         assert!((report.sharpness - 2.0).abs() < 1e-12);
     }
 
@@ -152,7 +197,47 @@ mod tests {
             std: vec![0.0],
         }];
         // Exact match is inside the degenerate interval; any miss is outside.
-        assert_eq!(coverage(&preds, &[vec![1.0]], 0, 0.9), 1.0);
-        assert_eq!(coverage(&preds, &[vec![1.1]], 0, 0.9), 0.0);
+        assert_eq!(coverage(&preds, &[vec![1.0]], 0, 0.9).unwrap(), 1.0);
+        assert_eq!(coverage(&preds, &[vec![1.1]], 0, 0.9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_set_is_a_typed_error_not_nan() {
+        assert_eq!(coverage(&[], &[], 0, 0.9), Err(UqError::EmptySet));
+        assert_eq!(calibration_error(&[], &[], 0).unwrap_err(), UqError::EmptySet);
+    }
+
+    #[test]
+    fn length_mismatch_is_a_typed_error() {
+        let (preds, _) = synthetic(4, 1.0, 64);
+        let err = coverage(&preds, &[vec![0.0]], 0, 0.9).unwrap_err();
+        assert_eq!(err, UqError::LengthMismatch { preds: 4, targets: 1 });
+        assert!(matches!(
+            calibration_error(&preds, &[vec![0.0]], 0),
+            Err(UqError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dim_out_of_range_is_a_typed_error_not_a_panic() {
+        let (preds, targets) = synthetic(4, 1.0, 65);
+        // 1-wide predictions: dim 3 used to index-panic; now it's typed.
+        let err = coverage(&preds, &targets, 3, 0.9).unwrap_err();
+        assert_eq!(err, UqError::DimOutOfRange { dim: 3, width: 1 });
+        assert!(matches!(
+            calibration_error(&preds, &targets, 3),
+            Err(UqError::DimOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_nominal_level_is_a_typed_error() {
+        let (preds, targets) = synthetic(4, 1.0, 66);
+        for q in [0.0, 1.0, -0.5, f64::NAN] {
+            assert!(matches!(
+                coverage(&preds, &targets, 0, q),
+                Err(UqError::BadNominal(_))
+            ));
+        }
     }
 }

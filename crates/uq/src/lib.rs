@@ -33,6 +33,51 @@ pub use ensemble::DeepEnsemble;
 pub use interval::{empirical_interval, normal_interval, Interval};
 pub use mc_dropout::McDropout;
 
+/// Typed errors from the UQ diagnostics.
+///
+/// `le-uq` sits below the engine crate in the dependency graph, so it
+/// carries its own error type; `learning-everywhere` maps it into
+/// `LeError` at the boundary (the staleness detector does exactly that).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UqError {
+    /// The prediction set was empty — no coverage is defined.
+    EmptySet,
+    /// Predictions and targets have different lengths.
+    LengthMismatch {
+        /// Number of predictions supplied.
+        preds: usize,
+        /// Number of targets supplied.
+        targets: usize,
+    },
+    /// The requested output dimension is outside some prediction or
+    /// target vector.
+    DimOutOfRange {
+        /// The requested output dimension.
+        dim: usize,
+        /// The smallest output width seen across predictions/targets.
+        width: usize,
+    },
+    /// The nominal coverage level must lie strictly inside (0, 1).
+    BadNominal(f64),
+}
+
+impl std::fmt::Display for UqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UqError::EmptySet => write!(f, "coverage of an empty prediction set"),
+            UqError::LengthMismatch { preds, targets } => {
+                write!(f, "{preds} predictions vs {targets} targets")
+            }
+            UqError::DimOutOfRange { dim, width } => {
+                write!(f, "output dim {dim} out of range (width {width})")
+            }
+            UqError::BadNominal(q) => write!(f, "nominal coverage {q} not in (0, 1)"),
+        }
+    }
+}
+
+impl std::error::Error for UqError {}
+
 /// A predictive distribution summary for one input: per-output mean and
 /// standard deviation.
 #[derive(Debug, Clone, PartialEq)]

@@ -153,6 +153,32 @@ cargo run -q --release --offline -p le-obs --bin obsctl -- diff \
   --baseline results/baselines/serve --current results \
   --tolerance 100 --ignore le_pool. --ignore serve.latency
 
+# Drift gate: a seeded distribution-drift campaign must show the frozen
+# surrogate degrading >= 3x in RMSE while the rolling-retrain engine holds
+# accuracy without ever pausing serving, then survive a chaos arm that
+# composes fault injection with saturated le-serve traffic over a drifting
+# pool. The whole campaign folds into one digest that must be
+# byte-identical at any LE_POOL_THREADS, and the committed drift/staleness/
+# rolling counters must replicate exactly (thread-variant pool metrics and
+# wall-clock serve.latency histograms are excluded).
+echo "==> drift campaign: digest invariance at LE_POOL_THREADS=1/4/7 + obsctl diff"
+drift_digest=""
+for threads in 1 4 7; do
+  out="$(LE_POOL_THREADS=$threads cargo run -q --release --offline -p le-bench --bin drift_campaign 2>/dev/null)"
+  d="$(printf '%s\n' "$out" | sed -n 's/^digest //p')"
+  [ -n "$d" ] || { echo "drift_campaign printed no digest at LE_POOL_THREADS=$threads" >&2; exit 1; }
+  if [ -z "$drift_digest" ]; then
+    drift_digest="$d"
+  elif [ "$d" != "$drift_digest" ]; then
+    echo "drift campaign digest diverged: $drift_digest vs $d (LE_POOL_THREADS=$threads)" >&2
+    exit 1
+  fi
+done
+echo "    digest $drift_digest at all thread counts"
+cargo run -q --release --offline -p le-obs --bin obsctl -- diff \
+  --baseline results/baselines/drift --current results \
+  --tolerance 100 --ignore le_pool. --ignore serve.latency
+
 # Trace-overhead smoke: journaling the MD step loop (spans + per-chunk pool
 # tasks) must stay within a few percent of the untraced run. The binary
 # interleaves journal-on/off reps and compares medians; gate via

@@ -585,3 +585,4 @@ fn serving_path_walks_the_degradation_ladder_like_the_direct_path() {
     }
     assert_eq!(cursor, direct_rows.len());
 }
+

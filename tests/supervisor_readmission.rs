@@ -1,0 +1,95 @@
+//! Satellite hardening for the supervisor ladder: re-admission must work
+//! under *repeated* quarantine cycles, with counter conservation between
+//! the in-process supervisor totals and the le-obs registry.
+//!
+//! One test function on purpose: the counters live in the process-global
+//! registry, and a single test (in its own test binary, hence its own
+//! process) owns the whole delta.
+
+use learning_everywhere::simulator::SyntheticSimulator;
+use learning_everywhere::surrogate::SurrogateConfig;
+use learning_everywhere::{
+    HybridConfig, HybridEngine, QuerySource, SupervisorConfig, SupervisorState,
+};
+
+#[test]
+fn repeated_quarantine_cycles_readmit_every_time_and_conserve_counters() {
+    // Satellite hardening for the ladder: quarantine → re-admission is not
+    // a one-shot path. K full cycles must each bench and then re-admit the
+    // surrogate, with the supervisor's in-process counters and the le-obs
+    // counters agreeing exactly (counter conservation: quarantines ==
+    // readmissions == K, and the OBS deltas match the in-process totals).
+    const CYCLES: u64 = 4;
+    let obs_before_q = le_obs::snapshot().counter("supervisor.quarantine").unwrap_or(0);
+    let obs_before_r = le_obs::snapshot().counter("supervisor.readmit").unwrap_or(0);
+
+    let sim = SyntheticSimulator::new(2, 1, 0, 0.0);
+    let mut engine = HybridEngine::with_supervisor(
+        sim.clone(),
+        HybridConfig {
+            uncertainty_threshold: 1e6, // gate always admits: gate path runs
+            min_training_runs: 8,
+            retrain_growth: 100.0, // no automatic retrain mid-cycle
+            surrogate: SurrogateConfig {
+                epochs: 20,
+                seed: 29,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        SupervisorConfig {
+            max_retries: 0,
+            quarantine_after: 3,
+            degrade_after: 100, // failed retrains never go terminal here
+        },
+    )
+    .expect("valid config");
+
+    let mut rng = le_linalg::Rng::new(31);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..12 {
+        let x = vec![rng.uniform_in(-1.0, 1.0), rng.uniform_in(-1.0, 1.0)];
+        let y = sim.truth(&x);
+        xs.push(x);
+        ys.push(y);
+    }
+    engine.seed_training(&xs, &ys).expect("clean seed data trains");
+
+    for cycle in 1..=CYCLES {
+        assert_eq!(engine.supervisor().state(), SupervisorState::Normal);
+        // Three NaN-input queries: anomaly streak climbs to quarantine.
+        for _ in 0..3 {
+            assert!(engine.query(&[f64::NAN, 0.0]).is_err());
+        }
+        assert_eq!(engine.supervisor().state(), SupervisorState::Quarantined);
+        assert_eq!(engine.supervisor().quarantines(), cycle);
+        // Benched serving still works, simulator-only.
+        let r = engine.query(&[0.1, 0.2]).expect("benched engine serves");
+        assert_eq!(r.source, QuerySource::Simulated);
+        assert!(r.gate_std.is_none());
+        // A clean retrain re-admits — every cycle, not just the first.
+        engine.retrain().expect("clean buffer retrains");
+        assert_eq!(engine.supervisor().state(), SupervisorState::Normal);
+        assert_eq!(engine.supervisor().readmissions(), cycle);
+        // The re-admitted surrogate really is consulted again.
+        let r = engine.query(&[0.0, 0.1]).expect("normal serving resumed");
+        assert!(r.gate_std.is_some());
+    }
+
+    // Conservation: every quarantine was matched by exactly one
+    // re-admission, in process and in the OBS registry.
+    assert_eq!(engine.supervisor().quarantines(), CYCLES);
+    assert_eq!(engine.supervisor().readmissions(), CYCLES);
+    let snap = le_obs::snapshot();
+    assert_eq!(
+        snap.counter("supervisor.quarantine").unwrap_or(0) - obs_before_q,
+        CYCLES,
+        "OBS quarantine counter must match the in-process total"
+    );
+    assert_eq!(
+        snap.counter("supervisor.readmit").unwrap_or(0) - obs_before_r,
+        CYCLES,
+        "OBS readmit counter must match the in-process total"
+    );
+}
